@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dataset/synthetic"
+	"repro/internal/fractal"
+	"repro/internal/index"
+	"repro/internal/reduction"
+)
+
+// This file exposes the extension features the paper sketches beyond its
+// core evaluation: local (projected-clustering) reduction for data with
+// high global implicit dimensionality (§3.1), streaming covariance
+// maintenance for dynamic databases (reference [17]), and the economical
+// partial-decomposition fitting paths.
+
+// KMeansResult is a k-means clustering of a point matrix.
+type KMeansResult = cluster.KMeansResult
+
+// KMeansConfig configures KMeans.
+type KMeansConfig = cluster.KMeansConfig
+
+// KMeans clusters the rows of x with k-means++ seeding and Lloyd iteration.
+func KMeans(x *Matrix, cfg KMeansConfig) (*KMeansResult, error) { return cluster.KMeans(x, cfg) }
+
+// Silhouette returns the mean silhouette coefficient of a clustering.
+func Silhouette(x *Matrix, assign []int, k int) float64 { return cluster.Silhouette(x, assign, k) }
+
+// LocalReduction is a per-cluster dimensionality reduction (the paper's
+// §3.1 extension): each k-means cell gets its own PCA and keeps its own
+// most meaningful directions.
+type LocalReduction = cluster.LocalReduction
+
+// LocalConfig configures FitLocal.
+type LocalConfig = cluster.LocalConfig
+
+// FitLocal partitions the data and fits a reduction per cluster.
+func FitLocal(x *Matrix, cfg LocalConfig) (*LocalReduction, error) { return cluster.FitLocal(x, cfg) }
+
+// SubspaceMixtureConfig describes a union-of-subspaces data set — the
+// high-implicit-dimensionality regime where only local reduction works.
+type SubspaceMixtureConfig = synthetic.SubspaceMixtureConfig
+
+// SubspaceMixture generates a union-of-subspaces data set.
+func SubspaceMixture(c SubspaceMixtureConfig) (*Dataset, error) { return synthetic.SubspaceMixture(c) }
+
+// CovarianceAccumulator maintains streaming covariance statistics so the
+// transform of a dynamic database can be refreshed in O(d²) per update.
+type CovarianceAccumulator = reduction.CovarianceAccumulator
+
+// NewCovarianceAccumulator creates an accumulator for d-dimensional points.
+func NewCovarianceAccumulator(d int) *CovarianceAccumulator {
+	return reduction.NewCovarianceAccumulator(d)
+}
+
+// FitSVD computes the same transform as Fit via the SVD of the data matrix
+// (numerically preferable when eigenvalues span many orders of magnitude or
+// when n < d).
+func FitSVD(x *Matrix, opts Options) (*PCA, error) { return reduction.FitSVD(x, opts) }
+
+// FitTopK computes only the k leading principal components via Lanczos
+// iteration — economical when d is large and only an aggressive reduction
+// is wanted.
+func FitTopK(x *Matrix, k int, opts Options, seed int64) (*PCA, error) {
+	return reduction.FitTopK(x, k, opts, seed)
+}
+
+// IGrid is the inverted-grid similarity index of the paper's reference [3]:
+// an alternative to dimensionality reduction that redefines similarity so
+// that only same-range dimensions contribute, preserving nearest-neighbor
+// contrast in high dimensionality.
+type IGrid = index.IGrid
+
+// BuildIGrid indexes the rows of data with the given equi-depth ranges per
+// dimension and Minkowski aggregation order p (2 is the usual choice).
+func BuildIGrid(data *Matrix, ranges int, p float64) *IGrid {
+	return index.BuildIGrid(data, ranges, p)
+}
+
+// BuildIDistance builds the iDistance one-dimensional-mapping index over a
+// B+ tree: exact Euclidean k-NN via partition-banded range scans. It is
+// most effective in the aggressively reduced space.
+func BuildIDistance(data *Matrix, partitions int, seed int64) Index {
+	return index.BuildIDistance(data, partitions, seed)
+}
+
+// FractalEstimate is a correlation-dimension fit.
+type FractalEstimate = fractal.Estimate
+
+// FractalOptions configure CorrelationDimension.
+type FractalOptions = fractal.Options
+
+// CorrelationDimension estimates the implicit (intrinsic) dimensionality
+// D₂ of a point set (the paper's §3 notion, via reference [15]): low D₂
+// relative to the ambient dimensionality marks data amenable to aggressive
+// reduction; D₂ near ambient marks the irreducible uniform-like regime.
+func CorrelationDimension(x *Matrix, opts FractalOptions) (FractalEstimate, error) {
+	return fractal.CorrelationDimension(x, opts)
+}

@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// Exercises the extension surface of the public API end to end.
+
+func TestPublicClusteringAndLocalReduction(t *testing.T) {
+	ds, err := SubspaceMixture(SubspaceMixtureConfig{
+		Name: "mix", N: 200, Dims: 16, Clusters: 4, LatentPerCluster: 2,
+		ConceptStrength: 3, ClassSeparation: 1.5, CenterSpread: 8,
+		NoiseStdDev: 0.8, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := KMeans(ds.X, KMeansConfig{K: 4, Seed: 1, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Silhouette(ds.X, km.Assign, 4); s < 0.2 {
+		t.Fatalf("silhouette = %v", s)
+	}
+	lr, err := FitLocal(ds.X, LocalConfig{Clusters: 4, FixedComponents: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lr.KNN(ds.X.Row(0), 3, 0)
+	if len(res) != 3 {
+		t.Fatalf("local knn = %v", res)
+	}
+	if acc := lr.Accuracy(ds, 3); acc < 0.5 {
+		t.Fatalf("local accuracy = %v", acc)
+	}
+}
+
+func TestPublicStreamingAccumulator(t *testing.T) {
+	ds := UniformCube("u", 100, 5, 3)
+	acc := NewCovarianceAccumulator(5)
+	acc.AddMatrix(ds.X)
+	p, err := acc.FitPCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Fit(ds.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Eigenvalues {
+		if math.Abs(p.Eigenvalues[i]-batch.Eigenvalues[i]) > 1e-8 {
+			t.Fatalf("streamed eigenvalue %d diverges", i)
+		}
+	}
+}
+
+func TestPublicFitVariants(t *testing.T) {
+	ds := IonosphereLike(2)
+	svd, err := FitSVD(ds.X, Options{Scaling: ScalingStudentize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, err := FitTopK(ds.X, 5, Options{Scaling: ScalingStudentize}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Fit(ds.X, Options{Scaling: ScalingStudentize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(svd.Eigenvalues[i]-full.Eigenvalues[i]) > 1e-6 {
+			t.Fatalf("svd eigenvalue %d diverges", i)
+		}
+		if math.Abs(topk.Eigenvalues[i]-full.Eigenvalues[i]) > 1e-5 {
+			t.Fatalf("topk eigenvalue %d diverges", i)
+		}
+	}
+}
+
+func TestPublicIGridAndIDistance(t *testing.T) {
+	ds := UniformCube("u", 300, 6, 4)
+	g := BuildIGrid(ds.X, 6, 2)
+	res, stats := g.KNN(ds.X.Row(0), 4)
+	if len(res) != 4 || res[0].Index != 0 {
+		t.Fatalf("igrid knn = %v", res)
+	}
+	if stats.PointsScanned <= 0 {
+		t.Fatalf("igrid stats = %+v", stats)
+	}
+	id := BuildIDistance(ds.X, 5, 1)
+	res2, _ := id.KNN(ds.X.Row(0), 4)
+	if res2[0].Index != 0 || res2[0].Dist != 0 {
+		t.Fatalf("idistance knn = %v", res2)
+	}
+	// Exactness: agree with brute force.
+	want := Search(ds.X, ds.X.Row(0), 4, Euclidean{}, -1)
+	for i := range want {
+		if math.Abs(res2[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("idistance rank %d: %v vs %v", i, res2[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestPublicCorrelationDimension(t *testing.T) {
+	ds := UniformCube("u", 500, 3, 5)
+	est, err := CorrelationDimension(ds.X, FractalOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.D2 < 1.5 || est.D2 > 3.5 {
+		t.Fatalf("uniform cube D2 = %v", est.D2)
+	}
+}
+
+func TestPublicWhitenedTransform(t *testing.T) {
+	ds := IonosphereLike(3)
+	p, err := FitDataset(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := p.TopK(ByEigenvalue, 4)
+	w := p.TransformWhitened(ds.X, comps)
+	if w.Cols() != 4 || w.Rows() != ds.N() {
+		t.Fatalf("whitened shape %dx%d", w.Rows(), w.Cols())
+	}
+	single := p.TransformPointWhitened(ds.X.Row(0), comps)
+	for j := range single {
+		if math.Abs(single[j]-w.At(0, j)) > 1e-12 {
+			t.Fatalf("whitened point diverges at %d", j)
+		}
+	}
+}
+
+func TestPublicMatrixHelpers(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("MatrixFromRows wrong")
+	}
+	z := NewMatrix(2, 3)
+	if z.Rows() != 2 || z.Cols() != 3 {
+		t.Fatalf("NewMatrix wrong")
+	}
+	// Coherence helpers on a centered matrix.
+	centered := MatrixFromRows([][]float64{{1, 0}, {-1, 0}})
+	if got := DatasetCoherence(centered, []float64{1, 0}); math.Abs(got-0.6826894921370859) > 1e-12 {
+		t.Fatalf("DatasetCoherence = %v", got)
+	}
+	ba := AnalyzeBasis(centered, MatrixFromRows([][]float64{{1, 0}, {0, 1}}), false)
+	if len(ba.Reports) != 2 {
+		t.Fatalf("AnalyzeBasis reports = %d", len(ba.Reports))
+	}
+	if GapCutoff([]float64{10, 9, 1}, 1, 3) != 2 {
+		t.Fatalf("GapCutoff wrong")
+	}
+}
+
+func TestPublicContrastAndAccuracyHelpers(t *testing.T) {
+	ds := GaussianClustersHelper(t)
+	full := DatasetAccuracy(ds)
+	if full < 0.9 {
+		t.Fatalf("clustered accuracy = %v", full)
+	}
+	if got := NeighborPrecision(ds.X, ds.X, 3, Euclidean{}); got != 1 {
+		t.Fatalf("self precision = %v", got)
+	}
+	if got := PredictionAccuracy(ds.X, ds.Labels, PaperK, Manhattan{}); got < 0.9 {
+		t.Fatalf("manhattan accuracy = %v", got)
+	}
+}
+
+// GaussianClustersHelper builds a tiny clustered set through the synthetic
+// generator exposed in the facade's Generate path.
+func GaussianClustersHelper(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(LatentFactorConfig{
+		Name: "g", N: 120, Dims: 8, Classes: 2,
+		ConceptStrengths: []float64{5}, ClassSeparation: 3, NoiseStdDev: 0.3, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	repro "repro"
+)
+
+// writeTestCSV generates a labelled data set and writes it to a temp file.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	ds := repro.IonosphereLike(1)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := repro.WriteCSV(f, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "reduced.csv")
+	if err := run(in, false, -1, true, "coherence", 8, 0, 0, 0, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reduced, err := repro.ReadCSV(f, "reduced", repro.CSVOptions{LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Dims() != 8 || reduced.N() != 351 {
+		t.Fatalf("reduced shape %dx%d", reduced.N(), reduced.Dims())
+	}
+}
+
+func TestRunSelectionModes(t *testing.T) {
+	in := writeTestCSV(t)
+	cases := []struct {
+		name                     string
+		k                        int
+		threshold, energy, floor float64
+	}{
+		{"fixed k", 5, 0, 0, 0},
+		{"threshold", 0, 0.10, 0, 0},
+		{"energy", 0, 0, 0.90, 0},
+		{"coherence floor", 0, 0, 0, 0.5},
+		{"gap heuristic", 0, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(in, false, -1, true, "coherence", tc.k, tc.threshold, tc.energy, tc.floor, "", false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunEigenvalueOrderAndReport(t *testing.T) {
+	in := writeTestCSV(t)
+	if err := run(in, false, -1, false, "eigenvalue", 3, 0, 0, 0, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), false, -1, true, "coherence", 0, 0, 0, 0, "", false); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+	in := writeTestCSV(t)
+	if err := run(in, false, -1, true, "bogus-order", 0, 0, 0, 0, "", false); err == nil {
+		t.Fatalf("bogus order accepted")
+	}
+	// Unwritable output path.
+	if err := run(in, false, -1, true, "coherence", 3, 0, 0, 0, filepath.Join(t.TempDir(), "no", "such", "dir.csv"), false); err == nil {
+		t.Fatalf("unwritable output accepted")
+	}
+}

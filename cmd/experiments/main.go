@@ -1,0 +1,89 @@
+// Command experiments regenerates every table and figure of the paper on
+// the synthetic data-set analogues, printing aligned text reports.
+//
+// Usage:
+//
+//	experiments [-seed N] [-threshold F] [-only name]
+//
+// Section names for -only: table1, figure1, figure2, scatter, coherence,
+// quality, ordering, uniform, contrast, pruning, local, igrid, implicit,
+// ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/reduction"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for all synthetic data generation")
+	threshold := flag.Float64("threshold", 0.01, "Table 1 eigenvalue-threshold fraction (paper OCR reads 1%)")
+	only := flag.String("only", "", "run a single section (see doc comment)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, ThresholdFrac: *threshold}
+	out := os.Stdout
+
+	run := func(name string, fn func()) {
+		if *only != "" && !strings.EqualFold(*only, name) {
+			return
+		}
+		fmt.Fprintf(out, "==== %s ====\n", name)
+		fn()
+		fmt.Fprintln(out)
+	}
+
+	run("figure1", func() { experiments.Figure1().Format(out) })
+	run("figure2", func() { experiments.Figure2().Format(out) })
+	run("table1", func() { experiments.Table1(cfg).Format(out) })
+	run("scatter", func() {
+		// Figures 3, 6, 9 (clean, normalized) and 12, 14 (noisy, raw).
+		for _, spec := range experiments.AllClean(*seed) {
+			experiments.Scatter(spec, reduction.ScalingStudentize).Format(out)
+			fmt.Fprintln(out)
+		}
+		experiments.Scatter(experiments.NoisyA(*seed), reduction.ScalingNone).Format(out)
+		fmt.Fprintln(out)
+		experiments.Scatter(experiments.NoisyB(*seed), reduction.ScalingNone).Format(out)
+	})
+	run("coherence", func() {
+		// Figures 4, 7, 10.
+		for _, spec := range experiments.AllClean(*seed) {
+			experiments.CoherenceDistribution(spec).Format(out)
+			fmt.Fprintln(out)
+		}
+	})
+	run("quality", func() {
+		// Figures 5, 8, 11.
+		for _, spec := range experiments.AllClean(*seed) {
+			experiments.ScalingQuality(spec).Format(out)
+			fmt.Fprintln(out)
+		}
+	})
+	run("ordering", func() {
+		// Figures 13, 15.
+		experiments.OrderingQuality(experiments.NoisyA(*seed)).Format(out)
+		fmt.Fprintln(out)
+		experiments.OrderingQuality(experiments.NoisyB(*seed)).Format(out)
+	})
+	run("uniform", func() { experiments.UniformCoherence(cfg).Format(out) })
+	run("contrast", func() { experiments.ContrastSweep(cfg).Format(out) })
+	run("pruning", func() { experiments.IndexPruning(cfg).Format(out) })
+	run("local", func() { experiments.LocalReduction(cfg).Format(out) })
+	run("igrid", func() { experiments.IGridComparison(cfg).Format(out) })
+	run("implicit", func() { experiments.ImplicitDimensionality(cfg).Format(out) })
+	run("ablations", func() {
+		experiments.ScalingAblation(cfg).Format(out)
+		fmt.Fprintln(out)
+		experiments.SelectionAblation(cfg).Format(out)
+		fmt.Fprintln(out)
+		experiments.MetricAblation(cfg).Format(out)
+		fmt.Fprintln(out)
+		experiments.NoiseAblation(cfg).Format(out)
+	})
+}

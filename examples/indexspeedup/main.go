@@ -1,0 +1,71 @@
+// Indexspeedup demonstrates the paper's performance motivation (§1.1): in
+// high dimensionality, partition indexes cannot prune — every k-NN query
+// degenerates to a full scan — while after aggressive dimensionality
+// reduction the same structures prune most of the database. The VA-file,
+// designed for high dimensions, is shown as the contrasting baseline.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	repro "repro"
+)
+
+func main() {
+	// A larger draw from the Arrhythmia-analogue distribution: 6000 points
+	// in 279 dimensions.
+	cfg := repro.LatentFactorConfig{
+		Name: "arrhythmia-6k", N: 6000, Dims: 279, Classes: 8,
+		ConceptStrengths: []float64{7, 7, 7, 7, 7, 4, 4, 4, 4, 4},
+		ClassSeparation:  1.8, NoiseStdDev: 1.8, ScaleSpread: 1.6, Seed: 1,
+	}
+	ds, err := repro.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("data:", ds)
+
+	p, err := repro.FitDataset(ds, repro.Options{Scaling: repro.ScalingStudentize})
+	if err != nil {
+		panic(err)
+	}
+	full := p.Transform(ds.X, p.TopK(repro.ByEigenvalue, ds.Dims()))
+	reduced := p.Transform(ds.X, p.TopK(repro.ByEigenvalue, 10))
+
+	rng := rand.New(rand.NewSource(2))
+	const queries = 20
+	for _, rep := range []struct {
+		name string
+		data *repro.Matrix
+	}{
+		{"full dimensionality (279 dims)", full},
+		{"aggressively reduced (10 dims)", reduced},
+	} {
+		fmt.Printf("\n%s:\n", rep.name)
+		for _, idx := range []struct {
+			name  string
+			build func(*repro.Matrix) repro.Index
+		}{
+			{"kd-tree", func(m *repro.Matrix) repro.Index { return repro.BuildKDTree(m, 0) }},
+			{"r-tree ", func(m *repro.Matrix) repro.Index { return repro.BuildRTree(m, 0) }},
+			{"va-file", func(m *repro.Matrix) repro.Index { return repro.BuildVAFile(m, 6) }},
+		} {
+			structure := idx.build(rep.data)
+			var total repro.IndexStats
+			for q := 0; q < queries; q++ {
+				query := rep.data.Row(rng.Intn(rep.data.Rows()))
+				_, stats := structure.KNN(query, 3)
+				total.Add(stats)
+			}
+			frac := float64(total.PointsScanned) / float64(queries*rep.data.Rows())
+			bar := ""
+			for n := 0; n < int(50*frac); n++ {
+				bar += "#"
+			}
+			fmt.Printf("  %s scans %5.1f%% of vectors per 3-NN query |%s\n", idx.name, 100*frac, bar)
+		}
+	}
+	fmt.Println("\nreduction turns the partition indexes from useless to effective —")
+	fmt.Println("\"greater aggression in dimensionality reduction translates to better performance.\"")
+}

@@ -1,0 +1,241 @@
+// Package btree implements an in-memory B+ tree keyed by float64 with int
+// payloads and duplicate-key support. It is the ordered storage substrate
+// used by the iDistance index (internal/index): points are mapped to
+// one-dimensional keys and k-NN queries become a sequence of key-range
+// scans, exactly how such indexes are deployed over database B+ trees.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a B+ tree holding (float64 key, int value) pairs. Duplicate keys
+// are allowed. The zero value is not usable; construct with New.
+type Tree struct {
+	order int // max children of an internal node; max entries of a leaf
+	root  node
+	size  int
+	first *leaf // leftmost leaf, head of the linked leaf chain
+}
+
+type node interface {
+	// insert adds the entry and reports a split: the new right sibling and
+	// the key separating it from the receiver (nil if no split).
+	insert(key float64, value int, order int) (node, float64)
+}
+
+type leaf struct {
+	keys   []float64
+	values []int
+	next   *leaf
+}
+
+type internal struct {
+	// keys[i] separates children[i] (< keys[i]) from children[i+1]
+	// (>= keys[i]).
+	keys     []float64
+	children []node
+}
+
+// DefaultOrder is used when New is given a non-positive order.
+const DefaultOrder = 32
+
+// New creates an empty tree. Order is the node fanout (>= 3; non-positive
+// selects DefaultOrder).
+func New(order int) *Tree {
+	if order <= 0 {
+		order = DefaultOrder
+	}
+	if order < 3 {
+		panic(fmt.Sprintf("btree: order %d must be >= 3", order))
+	}
+	lf := &leaf{}
+	return &Tree{order: order, root: lf, first: lf}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a key/value pair (duplicates allowed).
+func (t *Tree) Insert(key float64, value int) {
+	right, sep := t.root.insert(key, value, t.order)
+	if right != nil {
+		t.root = &internal{keys: []float64{sep}, children: []node{t.root, right}}
+	}
+	t.size++
+}
+
+func (l *leaf) insert(key float64, value int, order int) (node, float64) {
+	pos := sort.SearchFloat64s(l.keys, key)
+	l.keys = append(l.keys, 0)
+	copy(l.keys[pos+1:], l.keys[pos:])
+	l.keys[pos] = key
+	l.values = append(l.values, 0)
+	copy(l.values[pos+1:], l.values[pos:])
+	l.values[pos] = value
+	if len(l.keys) <= order {
+		return nil, 0
+	}
+	// Split: right sibling takes the upper half.
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys:   append([]float64(nil), l.keys[mid:]...),
+		values: append([]int(nil), l.values[mid:]...),
+		next:   l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.values = l.values[:mid:mid]
+	l.next = right
+	return right, right.keys[0]
+}
+
+func (in *internal) insert(key float64, value int, order int) (node, float64) {
+	idx := sort.SearchFloat64s(in.keys, key)
+	// SearchFloat64s returns the first separator >= key; equal keys route
+	// right, matching the leaf convention that right siblings start at the
+	// separator.
+	if idx < len(in.keys) && in.keys[idx] <= key {
+		idx++
+	}
+	if idx > len(in.children)-1 {
+		idx = len(in.children) - 1
+	}
+	right, sep := in.children[idx].insert(key, value, order)
+	if right == nil {
+		return nil, 0
+	}
+	in.keys = append(in.keys, 0)
+	copy(in.keys[idx+1:], in.keys[idx:])
+	in.keys[idx] = sep
+	in.children = append(in.children, nil)
+	copy(in.children[idx+2:], in.children[idx+1:])
+	in.children[idx+1] = right
+	if len(in.children) <= order {
+		return nil, 0
+	}
+	// Split the internal node; the middle key moves up.
+	midKey := len(in.keys) / 2
+	upKey := in.keys[midKey]
+	rightNode := &internal{
+		keys:     append([]float64(nil), in.keys[midKey+1:]...),
+		children: append([]node(nil), in.children[midKey+1:]...),
+	}
+	in.keys = in.keys[:midKey:midKey]
+	in.children = in.children[: midKey+1 : midKey+1]
+	return rightNode, upKey
+}
+
+// Range invokes fn for every entry with from <= key <= to, in ascending key
+// order. Iteration stops early if fn returns false. The number of entries
+// visited (including the one that stopped iteration) is returned.
+func (t *Tree) Range(from, to float64, fn func(key float64, value int) bool) int {
+	if from > to {
+		return 0
+	}
+	lf, pos := t.seek(from)
+	visited := 0
+	for lf != nil {
+		for ; pos < len(lf.keys); pos++ {
+			if lf.keys[pos] > to {
+				return visited
+			}
+			visited++
+			if !fn(lf.keys[pos], lf.values[pos]) {
+				return visited
+			}
+		}
+		lf = lf.next
+		pos = 0
+	}
+	return visited
+}
+
+// seek returns the leaf and position of the first entry with key >= from.
+func (t *Tree) seek(from float64) (*leaf, int) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			pos := sort.SearchFloat64s(v.keys, from)
+			if pos == len(v.keys) {
+				return v.next, 0
+			}
+			return v, pos
+		case *internal:
+			// Route equal separators LEFT: duplicates of the separator key
+			// may live in the left subtree (a split can cut a run of equal
+			// keys), and the leaf chain continues rightward anyway.
+			idx := sort.SearchFloat64s(v.keys, from)
+			n = v.children[idx]
+		}
+	}
+}
+
+// Min returns the smallest key (ok=false when empty).
+func (t *Tree) Min() (float64, bool) {
+	lf := t.first
+	for lf != nil && len(lf.keys) == 0 {
+		lf = lf.next
+	}
+	if lf == nil {
+		return 0, false
+	}
+	return lf.keys[0], true
+}
+
+// Max returns the largest key (ok=false when empty).
+func (t *Tree) Max() (float64, bool) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			if len(v.keys) == 0 {
+				return 0, false
+			}
+			return v.keys[len(v.keys)-1], true
+		case *internal:
+			n = v.children[len(v.children)-1]
+		}
+	}
+}
+
+// Height returns the tree height (1 for a single leaf); useful for testing
+// balance.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for {
+		in, ok := n.(*internal)
+		if !ok {
+			return h
+		}
+		h++
+		n = in.children[0]
+	}
+}
+
+// validate checks structural invariants; used by tests.
+func (t *Tree) validate() error {
+	// Leaf chain must be sorted and cover size entries.
+	count := 0
+	prev := 0.0
+	started := false
+	for lf := t.first; lf != nil; lf = lf.next {
+		if len(lf.keys) != len(lf.values) {
+			return fmt.Errorf("btree: leaf key/value length mismatch")
+		}
+		for _, k := range lf.keys {
+			if started && k < prev {
+				return fmt.Errorf("btree: leaf chain out of order (%v after %v)", k, prev)
+			}
+			prev = k
+			started = true
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: leaf chain holds %d entries, size says %d", count, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(4)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatalf("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatalf("Max on empty")
+	}
+	if got := tr.Range(0, 100, func(float64, int) bool { return true }); got != 0 {
+		t.Fatalf("Range on empty visited %d", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("order 2 must panic")
+		}
+	}()
+	New(2)
+}
+
+func TestInsertAndFullScan(t *testing.T) {
+	tr := New(4)
+	keys := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, k := range keys {
+		tr.Insert(k, i)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []float64
+	tr.Range(-100, 100, func(k float64, v int) bool {
+		got = append(got, k)
+		// Value must be the original insertion index of this key.
+		if keys[v] != k {
+			t.Fatalf("value %d does not map back to key %v", v, k)
+		}
+		return true
+	})
+	if !sort.Float64sAreSorted(got) || len(got) != len(keys) {
+		t.Fatalf("scan = %v", got)
+	}
+	if min, _ := tr.Min(); min != 0 {
+		t.Fatalf("Min = %v", min)
+	}
+	if max, _ := tr.Max(); max != 9 {
+		t.Fatalf("Max = %v", max)
+	}
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 50; i++ {
+		tr.Insert(7, i)
+	}
+	tr.Insert(6, 100)
+	tr.Insert(8, 200)
+	seen := 0
+	tr.Range(7, 7, func(k float64, v int) bool {
+		if k != 7 {
+			t.Fatalf("range leaked key %v", k)
+		}
+		seen++
+		return true
+	})
+	if seen != 50 {
+		t.Fatalf("found %d duplicates, want 50", seen)
+	}
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 20; i++ {
+		tr.Insert(float64(i), i)
+	}
+	var got []float64
+	tr.Range(5, 9, func(k float64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 5 || got[0] != 5 || got[4] != 9 {
+		t.Fatalf("range [5,9] = %v", got)
+	}
+	// Inverted range is empty.
+	if n := tr.Range(9, 5, func(float64, int) bool { return true }); n != 0 {
+		t.Fatalf("inverted range visited %d", n)
+	}
+	// Early stop.
+	visited := tr.Range(0, 19, func(k float64, v int) bool { return k < 3 })
+	if visited != 4 { // 0,1,2 continue; 3 stops
+		t.Fatalf("early stop visited %d", visited)
+	}
+}
+
+func TestTreeStaysBalancedAndOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, order := range []int{3, 4, 8, 32} {
+		tr := New(order)
+		n := 5000
+		for i := 0; i < n; i++ {
+			tr.Insert(rng.Float64()*1000, i)
+		}
+		if err := tr.validate(); err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		// Height is logarithmic: generous bound.
+		if h := tr.Height(); h > 20 {
+			t.Fatalf("order %d: height %d", order, h)
+		}
+		count := tr.Range(-1e9, 1e9, func(float64, int) bool { return true })
+		if count != n {
+			t.Fatalf("order %d: scan found %d of %d", order, count, n)
+		}
+	}
+}
+
+func TestRangeMatchesReferenceProperty(t *testing.T) {
+	// Property: Range(a,b) visits exactly the reference-sorted entries in
+	// [a,b], in order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		tr := New(3 + rng.Intn(10))
+		ref := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Coarse keys force duplicates.
+			k := float64(rng.Intn(40))
+			ref[i] = k
+			tr.Insert(k, i)
+		}
+		sort.Float64s(ref)
+		lo := float64(rng.Intn(40)) - 5
+		hi := lo + float64(rng.Intn(20))
+		var want []float64
+		for _, k := range ref {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		var got []float64
+		tr.Range(lo, hi, func(k float64, v int) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tr.validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxAfterManyInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(5)
+	lo, hi := 1e18, -1e18
+	for i := 0; i < 2000; i++ {
+		k := rng.NormFloat64() * 100
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+		tr.Insert(k, i)
+	}
+	if min, _ := tr.Min(); min != lo {
+		t.Fatalf("Min = %v, want %v", min, lo)
+	}
+	if max, _ := tr.Max(); max != hi {
+		t.Fatalf("Max = %v, want %v", max, hi)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64(), i)
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tr := New(32)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(rng.Float64()*1000, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 990
+		tr.Range(lo, lo+10, func(float64, int) bool { return true })
+	}
+}

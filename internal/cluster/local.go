@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+	"repro/internal/reduction"
+)
+
+// LocalReduction is the per-cluster dimensionality reduction of the paper's
+// §3.1 extension: the data is partitioned with k-means, an independent PCA
+// (with coherence analysis) is fitted inside every cluster, and each cluster
+// keeps only its own most meaningful directions. Queries are answered by
+// projecting the query into every cluster's subspace and merging candidate
+// neighbors — the local analogue of reduced-space search (cf. references
+// [2] and [6]).
+type LocalReduction struct {
+	// Clustering is the underlying partition.
+	Clustering *KMeansResult
+	// Members[c] lists the original row indices in cluster c.
+	Members [][]int
+	// PCAs[c] is the transform fitted on cluster c (nil for clusters too
+	// small to fit, which fall back to raw distances).
+	PCAs []*reduction.PCA
+	// Components[c] holds the component indices cluster c retains.
+	Components [][]int
+	// Reduced[c] is cluster c's projected member matrix (or the raw rows
+	// when PCAs[c] is nil).
+	Reduced []*linalg.Dense
+}
+
+// LocalConfig configures FitLocal.
+type LocalConfig struct {
+	// Clusters is the number of k-means cells (required).
+	Clusters int
+	// Ordering selects components inside each cluster (ByCoherence
+	// implements the paper's rule locally).
+	Ordering reduction.Ordering
+	// MaxComponents caps the per-cluster subspace dimensionality; the gap
+	// heuristic may choose fewer. 0 selects d/2.
+	MaxComponents int
+	// FixedComponents, when positive, retains exactly this many components
+	// in every cluster (bounded by the cluster's dimensionality) instead of
+	// the scatter-gap heuristic. Use when the per-cluster implicit
+	// dimensionality is known; small clusters make the gap heuristic
+	// unreliable (sampling noise inflates the noise eigenvalue edge).
+	FixedComponents int
+	// Scaling is applied inside each cluster before the decomposition.
+	Scaling reduction.Scaling
+	// MinClusterSize is the smallest cluster that gets its own transform;
+	// smaller clusters keep raw coordinates. 0 selects 2·d points or 10,
+	// whichever is larger... capped at the cluster content. Practically:
+	// clusters below this size are searched in the original space.
+	MinClusterSize int
+	// Seed drives k-means.
+	Seed int64
+}
+
+// FitLocal partitions the data and fits a reduction per cluster.
+func FitLocal(x *linalg.Dense, cfg LocalConfig) (*LocalReduction, error) {
+	n, d := x.Dims()
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("cluster: Clusters=%d must be >= 1", cfg.Clusters)
+	}
+	if cfg.MaxComponents <= 0 {
+		cfg.MaxComponents = (d + 1) / 2
+	}
+	if cfg.MinClusterSize <= 0 {
+		cfg.MinClusterSize = 10
+	}
+	km, err := KMeans(x, KMeansConfig{K: cfg.Clusters, Seed: cfg.Seed, Restarts: 3})
+	if err != nil {
+		return nil, err
+	}
+	lr := &LocalReduction{
+		Clustering: km,
+		Members:    make([][]int, cfg.Clusters),
+		PCAs:       make([]*reduction.PCA, cfg.Clusters),
+		Components: make([][]int, cfg.Clusters),
+		Reduced:    make([]*linalg.Dense, cfg.Clusters),
+	}
+	for i := 0; i < n; i++ {
+		c := km.Assign[i]
+		lr.Members[c] = append(lr.Members[c], i)
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		if len(lr.Members[c]) == 0 {
+			continue
+		}
+		sub := x.SliceRows(lr.Members[c])
+		if len(lr.Members[c]) < cfg.MinClusterSize {
+			lr.Reduced[c] = sub // too small: raw coordinates
+			continue
+		}
+		p, err := reduction.Fit(sub, reduction.Options{
+			Scaling:          cfg.Scaling,
+			ComputeCoherence: cfg.Ordering == reduction.ByCoherence,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster %d: %w", c, err)
+		}
+		order := p.Order(cfg.Ordering)
+		var k int
+		if cfg.FixedComponents > 0 {
+			k = cfg.FixedComponents
+			if k > d {
+				k = d
+			}
+		} else {
+			vals := make([]float64, d)
+			for i, idx := range order {
+				if cfg.Ordering == reduction.ByCoherence {
+					vals[i] = p.Coherence[idx]
+				} else {
+					vals[i] = p.Eigenvalues[idx]
+				}
+			}
+			k = reduction.GapCutoff(vals, 1, cfg.MaxComponents)
+		}
+		lr.PCAs[c] = p
+		lr.Components[c] = order[:k]
+		lr.Reduced[c] = p.Transform(sub, lr.Components[c])
+	}
+	return lr, nil
+}
+
+// Dims returns the per-cluster retained dimensionalities (0 for empty
+// clusters).
+func (lr *LocalReduction) Dims() []int {
+	out := make([]int, len(lr.Reduced))
+	for c, m := range lr.Reduced {
+		if m != nil {
+			out[c] = m.Cols()
+		}
+	}
+	return out
+}
+
+// KNN returns the k nearest neighbors of a raw-space query: the query is
+// projected into each cluster's subspace and the per-cluster candidates are
+// merged by their subspace distances. Subspace distances from different
+// clusters are not a single global metric — this is the deliberate trade of
+// local reduction (quality comes from each cluster's own concepts) — so the
+// merged ranking is heuristic in exchange for searching only meaningful
+// directions. exclude skips one original row index (leave-one-out).
+func (lr *LocalReduction) KNN(query []float64, k int, exclude int) []knn.Neighbor {
+	if k <= 0 {
+		panic(fmt.Sprintf("cluster: k=%d must be positive", k))
+	}
+	c := knn.NewCollector(k)
+	for ci, members := range lr.Members {
+		if len(members) == 0 {
+			continue
+		}
+		var q []float64
+		if lr.PCAs[ci] != nil {
+			q = lr.PCAs[ci].TransformPoint(query, lr.Components[ci])
+		} else {
+			q = query
+		}
+		red := lr.Reduced[ci]
+		for mi, orig := range members {
+			if orig == exclude {
+				continue
+			}
+			c.Offer(orig, dist(red.RawRow(mi), q))
+		}
+	}
+	return c.Results()
+}
+
+func dist(a, b []float64) float64 { return math.Sqrt(sqDist(a, b)) }
+
+// Accuracy runs the feature-stripping measurement through the local
+// reduction: every point of the original data set queries its k nearest
+// neighbors via KNN and class matches are counted, exactly as
+// eval.PredictionAccuracy does globally.
+func (lr *LocalReduction) Accuracy(ds *dataset.Dataset, k int) float64 {
+	matches, total := 0, 0
+	for i := 0; i < ds.N(); i++ {
+		res := lr.KNN(ds.X.RawRow(i), k, i)
+		for _, nb := range res {
+			total++
+			if ds.Labels[nb.Index] == ds.Labels[i] {
+				matches++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(matches) / float64(total)
+}

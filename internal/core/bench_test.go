@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func BenchmarkCoherenceFactor256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	e := make([]float64, 256)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+		e[j] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoherenceFactor(x, e)
+	}
+}
+
+func BenchmarkAnalyzeBasis500x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := linalg.NewDense(500, 64)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < 64; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	basis := linalg.Identity(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeBasis(x, basis, true)
+	}
+}

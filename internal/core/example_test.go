@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The paper's §3 closed form: along an axis vector, any point's coherence
+// factor is exactly 1, so its coherence probability is 2Φ(1)−1 ≈ 0.6827 —
+// too low to call the direction a concept, too high to discard it.
+func ExampleCoherenceFactor() {
+	x := []float64{4.2, -1, 3, 0.5} // arbitrary centered point
+	e := []float64{1, 0, 0, 0}      // axis direction
+	fmt.Printf("factor=%.0f probability=%.4f\n",
+		core.CoherenceFactor(x, e), core.CoherenceProbability(x, e))
+	// Output: factor=1 probability=0.6827
+}
+
+// A direction whose per-dimension contributions all agree reaches the
+// maximum coherence factor √d.
+func ExampleCoherenceProbability() {
+	d := 16
+	x := make([]float64, d)
+	e := make([]float64, d)
+	for j := range x {
+		x[j] = 2
+		e[j] = 0.25 // unit vector: 16 × 0.25² = 1
+	}
+	fmt.Printf("factor=%.0f\n", core.CoherenceFactor(x, e))
+	// Output: factor=4
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/linalg"
+)
+
+// ReadARFF parses the Weka/UCI ARFF format: @relation, a list of @attribute
+// declarations, then @data with comma-separated rows. Numeric ("numeric",
+// "real", "integer") attributes become features; the final nominal attribute
+// (declared as {a,b,...}) is taken as the class. '%' starts a comment and
+// '?' (missing value) is rejected with a clear error — the paper's pipeline
+// assumes complete data.
+func ReadARFF(r io.Reader, fallbackName string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	name := fallbackName
+	type attr struct {
+		name    string
+		nominal []string // nil for numeric
+	}
+	var attrs []attr
+	inData := false
+	var rows [][]string
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(line)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				fields := strings.Fields(line)
+				if len(fields) > 1 {
+					name = strings.Trim(fields[1], `'"`)
+				}
+			case strings.HasPrefix(lower, "@attribute"):
+				a, err := parseAttribute(line)
+				if err != nil {
+					return nil, err
+				}
+				attrs = append(attrs, a)
+			case strings.HasPrefix(lower, "@data"):
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: unexpected ARFF header line: %q", line)
+			}
+			continue
+		}
+		rows = append(rows, strings.Split(line, ","))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading arff: %w", err)
+	}
+	if len(attrs) < 2 {
+		return nil, fmt.Errorf("dataset: arff needs at least 2 attributes, got %d", len(attrs))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: arff has no data rows")
+	}
+
+	// The class attribute is the last nominal one; conventionally the final
+	// attribute.
+	classIdx := -1
+	for i := len(attrs) - 1; i >= 0; i-- {
+		if attrs[i].nominal != nil {
+			classIdx = i
+			break
+		}
+	}
+	if classIdx == -1 {
+		return nil, fmt.Errorf("dataset: arff has no nominal class attribute")
+	}
+	classValues := map[string]int{}
+	for i, v := range attrs[classIdx].nominal {
+		classValues[v] = i
+	}
+
+	x := linalg.NewDense(len(rows), len(attrs)-1)
+	labels := make([]int, len(rows))
+	for i, rec := range rows {
+		if len(rec) != len(attrs) {
+			return nil, fmt.Errorf("dataset: arff row %d has %d values, want %d", i+1, len(rec), len(attrs))
+		}
+		col := 0
+		for j, raw := range rec {
+			field := strings.TrimSpace(raw)
+			if field == "?" {
+				return nil, fmt.Errorf("dataset: arff row %d has a missing value; impute before loading", i+1)
+			}
+			if j == classIdx {
+				idx, ok := classValues[strings.Trim(field, `'"`)]
+				if !ok {
+					return nil, fmt.Errorf("dataset: arff row %d: unknown class %q", i+1, field)
+				}
+				labels[i] = idx
+				continue
+			}
+			if attrs[j].nominal != nil {
+				// Non-class nominal attributes are encoded by value index —
+				// a standard integer encoding.
+				idx, ok := 0, false
+				for k, v := range attrs[j].nominal {
+					if v == strings.Trim(field, `'"`) {
+						idx, ok = k, true
+						break
+					}
+				}
+				if !ok {
+					return nil, fmt.Errorf("dataset: arff row %d: unknown nominal value %q for %s", i+1, field, attrs[j].name)
+				}
+				x.Set(i, col, float64(idx))
+				col++
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: arff row %d attribute %s: %w", i+1, attrs[j].name, err)
+			}
+			x.Set(i, col, v)
+			col++
+		}
+	}
+
+	ds, err := New(name, x, labels)
+	if err != nil {
+		return nil, err
+	}
+	ds.ClassNames = attrs[classIdx].nominal
+	feats := make([]string, 0, len(attrs)-1)
+	for j, a := range attrs {
+		if j != classIdx {
+			feats = append(feats, a.name)
+		}
+	}
+	ds.FeatureNames = feats
+	return ds, nil
+}
+
+func parseAttribute(line string) (struct {
+	name    string
+	nominal []string
+}, error) {
+	var out struct {
+		name    string
+		nominal []string
+	}
+	rest := strings.TrimSpace(line[len("@attribute"):])
+	if rest == "" {
+		return out, fmt.Errorf("dataset: malformed @attribute line: %q", line)
+	}
+	// Attribute name may be quoted.
+	var nameEnd int
+	if rest[0] == '\'' || rest[0] == '"' {
+		q := rest[0]
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			return out, fmt.Errorf("dataset: unterminated quoted attribute name: %q", line)
+		}
+		out.name = rest[1 : 1+end]
+		nameEnd = end + 2
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return out, fmt.Errorf("dataset: @attribute missing type: %q", line)
+		}
+		out.name = rest[:sp]
+		nameEnd = sp
+	}
+	typ := strings.TrimSpace(rest[nameEnd:])
+	if strings.HasPrefix(typ, "{") {
+		closing := strings.IndexByte(typ, '}')
+		if closing < 0 {
+			return out, fmt.Errorf("dataset: unterminated nominal spec: %q", line)
+		}
+		for _, v := range strings.Split(typ[1:closing], ",") {
+			out.nominal = append(out.nominal, strings.Trim(strings.TrimSpace(v), `'"`))
+		}
+		if len(out.nominal) == 0 {
+			return out, fmt.Errorf("dataset: empty nominal spec: %q", line)
+		}
+		return out, nil
+	}
+	switch strings.ToLower(typ) {
+	case "numeric", "real", "integer":
+		return out, nil
+	default:
+		return out, fmt.Errorf("dataset: unsupported attribute type %q in %q", typ, line)
+	}
+}

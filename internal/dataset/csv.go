@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/linalg"
+)
+
+// CSVOptions control CSV parsing.
+type CSVOptions struct {
+	// HasHeader indicates the first row holds column names.
+	HasHeader bool
+	// LabelColumn is the index of the class column; -1 means the last
+	// column. The label column may hold integers or arbitrary strings
+	// (strings are interned to class indices in order of first appearance).
+	LabelColumn int
+	// Comma is the field separator; 0 means ','.
+	Comma rune
+}
+
+// ReadCSV parses a labelled data set from CSV. Every column except the label
+// column must be numeric.
+func ReadCSV(r io.Reader, name string, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv")
+	}
+	var header []string
+	if opts.HasHeader {
+		header = records[0]
+		records = records[1:]
+		if len(records) == 0 {
+			return nil, fmt.Errorf("dataset: csv has only a header")
+		}
+	}
+	width := len(records[0])
+	if width < 2 {
+		return nil, fmt.Errorf("dataset: csv needs at least 2 columns (features + label), got %d", width)
+	}
+	labelCol := opts.LabelColumn
+	if labelCol < 0 {
+		labelCol = width - 1
+	}
+	if labelCol >= width {
+		return nil, fmt.Errorf("dataset: label column %d out of range for width %d", labelCol, width)
+	}
+
+	x := linalg.NewDense(len(records), width-1)
+	labels := make([]int, len(records))
+	classIndex := map[string]int{}
+	var classNames []string
+
+	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(rec), width)
+		}
+		col := 0
+		for j, field := range rec {
+			if j == labelCol {
+				idx, ok := classIndex[field]
+				if !ok {
+					idx = len(classNames)
+					classIndex[field] = idx
+					classNames = append(classNames, field)
+				}
+				labels[i] = idx
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %d: %w", i+1, j+1, err)
+			}
+			x.Set(i, col, v)
+			col++
+		}
+	}
+
+	ds, err := New(name, x, labels)
+	if err != nil {
+		return nil, err
+	}
+	ds.ClassNames = classNames
+	if header != nil {
+		feats := make([]string, 0, width-1)
+		for j, h := range header {
+			if j != labelCol {
+				feats = append(feats, h)
+			}
+		}
+		ds.FeatureNames = feats
+	}
+	return ds, nil
+}
+
+// WriteCSV writes the data set with features first and the class label (or
+// class name when available) as the final column. A header row is written
+// when the data set has feature names.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	width := d.Dims() + 1
+	if d.FeatureNames != nil {
+		header := append(append([]string{}, d.FeatureNames...), "class")
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	rec := make([]string, width)
+	for i := 0; i < d.N(); i++ {
+		row := d.X.RawRow(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if d.ClassNames != nil && d.Labels[i] < len(d.ClassNames) {
+			rec[width-1] = d.ClassNames[d.Labels[i]]
+		} else {
+			rec[width-1] = strconv.Itoa(d.Labels[i])
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

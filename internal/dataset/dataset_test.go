@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+func smallSet(t *testing.T) *Dataset {
+	t.Helper()
+	x := linalg.FromRows([][]float64{
+		{1, 10, 5},
+		{2, 10, 6},
+		{3, 10, 7},
+		{4, 10, 8},
+	})
+	return MustNew("small", x, []int{0, 1, 0, 1})
+}
+
+func TestNewValidation(t *testing.T) {
+	x := linalg.NewDense(2, 2)
+	if _, err := New("bad", x, []int{0}); err == nil {
+		t.Fatalf("expected label-count error")
+	}
+	if _, err := New("bad", x, []int{0, -1}); err == nil {
+		t.Fatalf("expected negative-label error")
+	}
+	if _, err := New("ok", x, []int{0, 1}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	d := smallSet(t)
+	if d.N() != 4 || d.Dims() != 3 {
+		t.Fatalf("N/Dims = %d/%d", d.N(), d.Dims())
+	}
+	if d.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d", d.NumClasses())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("ClassCounts = %v", counts)
+	}
+	p := d.Point(1)
+	if !linalg.VecEqual(p, []float64{2, 10, 6}, 0) {
+		t.Fatalf("Point(1) = %v", p)
+	}
+	p[0] = 99
+	if d.X.At(1, 0) != 2 {
+		t.Fatalf("Point must copy")
+	}
+	if s := d.String(); s == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := smallSet(t)
+	c := d.Clone()
+	c.X.Set(0, 0, -1)
+	c.Labels[0] = 1
+	if d.X.At(0, 0) != 1 || d.Labels[0] != 0 {
+		t.Fatalf("Clone shares state")
+	}
+}
+
+func TestWithMatrix(t *testing.T) {
+	d := smallSet(t)
+	m := linalg.NewDense(4, 2)
+	r := d.WithMatrix("reduced", m)
+	if r.Dims() != 2 || r.Labels[3] != 1 {
+		t.Fatalf("WithMatrix wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("row mismatch must panic")
+		}
+	}()
+	d.WithMatrix("bad", linalg.NewDense(3, 2))
+}
+
+func TestSubsetAndShuffle(t *testing.T) {
+	d := smallSet(t)
+	s := d.Subset([]int{3, 0})
+	if s.N() != 2 || s.Labels[0] != 1 || s.Labels[1] != 0 {
+		t.Fatalf("Subset labels wrong: %v", s.Labels)
+	}
+	if s.X.At(0, 0) != 4 {
+		t.Fatalf("Subset rows wrong")
+	}
+	sh := d.Shuffled(rand.New(rand.NewSource(1)))
+	if sh.N() != d.N() {
+		t.Fatalf("Shuffled size changed")
+	}
+	// The multiset of labels is preserved.
+	c1, c2 := d.ClassCounts(), sh.ClassCounts()
+	if c1[0] != c2[0] || c1[1] != c2[1] {
+		t.Fatalf("Shuffled changed class counts")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := smallSet(t)
+	ref, q := d.Split(2)
+	if ref.N()+q.N() != d.N() {
+		t.Fatalf("Split sizes %d+%d != %d", ref.N(), q.N(), d.N())
+	}
+	if q.N() != 2 { // rows 0 and 2
+		t.Fatalf("query size = %d", q.N())
+	}
+	if q.X.At(0, 0) != 1 || q.X.At(1, 0) != 3 {
+		t.Fatalf("query rows wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Split(1) must panic")
+		}
+	}()
+	d.Split(1)
+}
+
+func TestDropConstantColumns(t *testing.T) {
+	d := smallSet(t) // column 1 is constant (10)
+	reduced, keep := d.DropConstantColumns(1e-12)
+	if reduced.Dims() != 2 {
+		t.Fatalf("Dims after drop = %d", reduced.Dims())
+	}
+	if len(keep) != 2 || keep[0] != 0 || keep[1] != 2 {
+		t.Fatalf("keep = %v", keep)
+	}
+	// No constant columns: same object back, identity column map.
+	x := linalg.FromRows([][]float64{{1, 2}, {3, 4}})
+	d2 := MustNew("v", x, []int{0, 1})
+	same, keep2 := d2.DropConstantColumns(1e-12)
+	if same != d2 {
+		t.Fatalf("expected identical dataset when nothing dropped")
+	}
+	if len(keep2) != 2 {
+		t.Fatalf("keep2 = %v", keep2)
+	}
+}
+
+func TestStandardizedAndCentered(t *testing.T) {
+	d := smallSet(t)
+	s := d.Standardized()
+	vars := stats.ColumnVariances(s.X)
+	if math.Abs(vars[0]-1) > 1e-12 || math.Abs(vars[2]-1) > 1e-12 {
+		t.Fatalf("standardized variances = %v", vars)
+	}
+	means := stats.ColumnMeans(s.X)
+	for _, m := range means {
+		if math.Abs(m) > 1e-12 {
+			t.Fatalf("standardized means = %v", means)
+		}
+	}
+	c := d.Centered()
+	cm := stats.ColumnMeans(c.X)
+	for _, m := range cm {
+		if math.Abs(m) > 1e-12 {
+			t.Fatalf("centered means = %v", cm)
+		}
+	}
+	// Centered keeps original scales.
+	cv := stats.ColumnVariances(c.X)
+	ov := stats.ColumnVariances(d.X)
+	if !linalg.VecEqual(cv, ov, 1e-12) {
+		t.Fatalf("Centered changed variances")
+	}
+	// Originals untouched.
+	if d.X.At(0, 0) != 1 {
+		t.Fatalf("Standardized/Centered mutated the original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := smallSet(t)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	bad := d.Clone()
+	bad.X.Set(0, 0, math.NaN())
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("NaN accepted")
+	}
+	bad2 := d.Clone()
+	bad2.FeatureNames = []string{"only-one"}
+	if err := bad2.Validate(); err == nil {
+		t.Fatalf("feature-name mismatch accepted")
+	}
+	bad3 := d.Clone()
+	bad3.ClassNames = []string{"a"}
+	if err := bad3.Validate(); err == nil {
+		t.Fatalf("class-name shortage accepted")
+	}
+}

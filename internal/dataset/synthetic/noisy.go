@@ -1,0 +1,48 @@
+package synthetic
+
+import "repro/internal/dataset"
+
+// NoisyDimensions is the number of features the paper replaces with uniform
+// noise when constructing its corrupted data sets ("we picked 10 of the
+// original set of ... dimensions and replaced them with data generated from
+// a uniform distribution").
+const NoisyDimensions = 10
+
+// NoisyAmplitude is the paper's uniform-noise amplitude a = 6.
+const NoisyAmplitude = 6
+
+// NoisyDataA reproduces the paper's "noisy data set A": the Ionosphere
+// analogue with 10 of its 34 dimensions replaced by uniform noise of
+// amplitude 6. The base data is standardized and rescaled to the raw
+// Ionosphere feature range (features in [-1, 1], standard deviation ~0.5);
+// the injected noise (variance a²/12 = 3) then owns the largest covariance
+// eigenvalues while carrying no class information — the regime where
+// eigenvalue-ordered reduction fails (Figures 12–13). The chosen column
+// indices are returned for inspection.
+func NoisyDataA(seed int64) (*dataset.Dataset, []int) {
+	base := rescaled(IonosphereLike(seed), 0.5)
+	ds, cols := CorruptRandom(base, NoisyDimensions, NoisyAmplitude, seed+1000)
+	ds.Name = "noisy-A"
+	return ds, cols
+}
+
+// NoisyDataB reproduces the paper's "noisy data set B": the Arrhythmia
+// analogue (279 dimensions) with 10 dimensions replaced by uniform noise of
+// amplitude 6, constructed the same way as NoisyDataA (Figures 14–15).
+// Arrhythmia's concepts spread over far more dimensions, so the base is
+// rescaled to a smaller per-feature deviation to keep the paper's noise
+// amplitude dominant, as it is in its Figure 14 spectrum.
+func NoisyDataB(seed int64) (*dataset.Dataset, []int) {
+	base := rescaled(ArrhythmiaLike(seed), 0.25)
+	ds, cols := CorruptRandom(base, NoisyDimensions, NoisyAmplitude, seed+2000)
+	ds.Name = "noisy-B"
+	return ds, cols
+}
+
+// rescaled standardizes the data set and multiplies every feature by sd, so
+// every dimension has standard deviation sd.
+func rescaled(d *dataset.Dataset, sd float64) *dataset.Dataset {
+	out := d.Standardized()
+	out.X.Scale(sd)
+	return out
+}

@@ -1,0 +1,92 @@
+package synthetic
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNoisyDataA(t *testing.T) {
+	ds, cols := NoisyDataA(1)
+	if ds.N() != 351 || ds.Dims() != 34 {
+		t.Fatalf("shape: %s", ds)
+	}
+	if len(cols) != NoisyDimensions {
+		t.Fatalf("corrupted columns: %v", cols)
+	}
+	if ds.Name != "noisy-A" {
+		t.Fatalf("name: %q", ds.Name)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The injected noise dominates: corrupted columns have variance near
+	// a²/12 = 3, far above the rescaled signal columns (sd 0.5 → var 0.25).
+	vars := stats.ColumnVariances(ds.X)
+	corrupted := map[int]bool{}
+	for _, c := range cols {
+		corrupted[c] = true
+	}
+	for j, v := range vars {
+		if corrupted[j] {
+			if v < 1.5 {
+				t.Errorf("corrupted column %d variance %v too small", j, v)
+			}
+		} else if v > 1 {
+			t.Errorf("signal column %d variance %v too large", j, v)
+		}
+	}
+	// Deterministic.
+	again, cols2 := NoisyDataA(1)
+	if !again.X.Equal(ds.X, 0) {
+		t.Fatalf("NoisyDataA not deterministic")
+	}
+	for i := range cols {
+		if cols[i] != cols2[i] {
+			t.Fatalf("column choice not deterministic")
+		}
+	}
+}
+
+func TestNoisyDataB(t *testing.T) {
+	ds, cols := NoisyDataB(1)
+	if ds.N() != 452 || ds.Dims() != 279 {
+		t.Fatalf("shape: %s", ds)
+	}
+	if len(cols) != NoisyDimensions {
+		t.Fatalf("corrupted columns: %v", cols)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels come from the base Arrhythmia analogue (8 classes).
+	if ds.NumClasses() != 8 {
+		t.Fatalf("classes = %d", ds.NumClasses())
+	}
+}
+
+func TestSubspaceMixtureDeterministic(t *testing.T) {
+	cfg := SubspaceMixtureConfig{
+		Name: "m", N: 60, Dims: 10, Clusters: 3, LatentPerCluster: 2,
+		ConceptStrength: 2, ClassSeparation: 1, CenterSpread: 4, NoiseStdDev: 0.3, Seed: 9,
+	}
+	a, err := SubspaceMixture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SubspaceMixture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.X.Equal(b.X, 0) {
+		t.Fatalf("SubspaceMixture not deterministic")
+	}
+	cfg.Seed = 10
+	c, err := SubspaceMixture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X.Equal(c.X, 0) {
+		t.Fatalf("different seeds gave identical data")
+	}
+}

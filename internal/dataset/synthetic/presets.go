@@ -1,0 +1,87 @@
+package synthetic
+
+import "repro/internal/dataset"
+
+// Preset analogues of the paper's three UCI data sets. The ambient
+// dimensionalities and point counts match the originals (Musk v1: 476 x 166,
+// Ionosphere: 351 x 34, Arrhythmia: 452 x 279); the latent structure is
+// chosen so the paper's qualitative phenomena appear at comparable
+// dimensionalities (see DESIGN.md §4). Strength profiles are tiered to
+// produce the eigenvalue-scatter geometry described in §4 of the paper:
+// Musk has ~11-13 separated eigenvectors, Ionosphere a cluster of 5 strong
+// plus 5 medium, Arrhythmia ~10 separated out of 279.
+
+// tier returns a strength profile with `counts[i]` concepts at
+// `levels[i]`.
+func tier(levels []float64, counts []int) []float64 {
+	var out []float64
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			out = append(out, levels[i])
+		}
+	}
+	return out
+}
+
+// MuskLikeConfig is the analogue of UCI Musk (version 1): 476 points in 166
+// dimensions, 2 classes, ~13 meaningful concepts.
+func MuskLikeConfig(seed int64) LatentFactorConfig {
+	return LatentFactorConfig{
+		Name:             "musk-like",
+		N:                476,
+		Dims:             166,
+		Classes:          2,
+		ConceptStrengths: tier([]float64{6, 3.5, 2}, []int{4, 4, 5}),
+		ClassSeparation:  0.9,
+		NoiseStdDev:      2.2,
+		ScaleSpread:      1.4,
+		Seed:             seed,
+	}
+}
+
+// MuskLike generates the Musk analogue.
+func MuskLike(seed int64) *dataset.Dataset { return MustGenerate(MuskLikeConfig(seed)) }
+
+// IonosphereLikeConfig is the analogue of UCI Ionosphere: 351 points in 34
+// dimensions, 2 classes, a cluster of 5 strong concepts plus 5 medium ones
+// (the paper: "the largest 5 eigenvalues are somewhat isolated ... when the
+// next cluster of 5 eigenvalues was also included, this results in the
+// optimal prediction accuracy").
+func IonosphereLikeConfig(seed int64) LatentFactorConfig {
+	return LatentFactorConfig{
+		Name:             "ionosphere-like",
+		N:                351,
+		Dims:             34,
+		Classes:          2,
+		ConceptStrengths: tier([]float64{5, 2.2}, []int{5, 5}),
+		ClassSeparation:  1.5,
+		NoiseStdDev:      1.6,
+		ScaleSpread:      1.0,
+		Seed:             seed,
+	}
+}
+
+// IonosphereLike generates the Ionosphere analogue.
+func IonosphereLike(seed int64) *dataset.Dataset { return MustGenerate(IonosphereLikeConfig(seed)) }
+
+// ArrhythmiaLikeConfig is the analogue of UCI Arrhythmia: 452 points in 279
+// dimensions, multiple diagnostic classes, ~10 separated concepts (the
+// paper: "the 10 eigenvectors tend to be separated from the rest of the
+// data ... the optimum prediction accuracy is obtained by picking the top 10
+// eigenvectors").
+func ArrhythmiaLikeConfig(seed int64) LatentFactorConfig {
+	return LatentFactorConfig{
+		Name:             "arrhythmia-like",
+		N:                452,
+		Dims:             279,
+		Classes:          8,
+		ConceptStrengths: tier([]float64{7, 4}, []int{5, 5}),
+		ClassSeparation:  1.8,
+		NoiseStdDev:      1.8,
+		ScaleSpread:      1.6,
+		Seed:             seed,
+	}
+}
+
+// ArrhythmiaLike generates the Arrhythmia analogue.
+func ArrhythmiaLike(seed int64) *dataset.Dataset { return MustGenerate(ArrhythmiaLikeConfig(seed)) }

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// Classifier is a k-NN majority-vote classifier over a labelled reference
+// set — the standard downstream consumer of a reduced representation and a
+// stricter companion to the paper's per-neighbor match rate.
+type Classifier struct {
+	data   *linalg.Dense
+	labels []int
+	k      int
+	metric knn.Metric
+}
+
+// NewClassifier builds a classifier over the reference data set (the matrix
+// is retained, not copied). k must be positive; a nil metric selects
+// Euclidean.
+func NewClassifier(d *dataset.Dataset, k int, m knn.Metric) *Classifier {
+	if k <= 0 {
+		panic(fmt.Sprintf("eval: classifier k=%d must be positive", k))
+	}
+	if m == nil {
+		m = knn.Euclidean{}
+	}
+	return &Classifier{data: d.X, labels: d.Labels, k: k, metric: m}
+}
+
+// Predict returns the majority label of the query's k nearest reference
+// points (smallest label wins ties, for determinism). exclude skips one
+// reference row (leave-one-out).
+func (c *Classifier) Predict(query []float64, exclude int) int {
+	res := knn.Search(c.data, query, c.k, c.metric, exclude)
+	votes := map[int]int{}
+	for _, nb := range res {
+		votes[c.labels[nb.Index]]++
+	}
+	best, bestVotes := -1, -1
+	for label, v := range votes {
+		if v > bestVotes || (v == bestVotes && label < best) {
+			best, bestVotes = label, v
+		}
+	}
+	return best
+}
+
+// ConfusionMatrix counts predictions per (true class, predicted class)
+// pair.
+type ConfusionMatrix struct {
+	// Counts[t][p] is the number of class-t points predicted as class p.
+	Counts [][]int
+	// Total is the number of classified points.
+	Total int
+	// Correct is the number of exact matches.
+	Correct int
+}
+
+// LeaveOneOut classifies every point of the reference set against the
+// others and tallies the confusion matrix.
+func (c *Classifier) LeaveOneOut() ConfusionMatrix {
+	classes := 0
+	for _, l := range c.labels {
+		if l >= classes {
+			classes = l + 1
+		}
+	}
+	cm := ConfusionMatrix{Counts: make([][]int, classes)}
+	for t := range cm.Counts {
+		cm.Counts[t] = make([]int, classes)
+	}
+	for i := 0; i < c.data.Rows(); i++ {
+		pred := c.Predict(c.data.RawRow(i), i)
+		cm.Counts[c.labels[i]][pred]++
+		cm.Total++
+		if pred == c.labels[i] {
+			cm.Correct++
+		}
+	}
+	return cm
+}
+
+// Accuracy returns the fraction of exact predictions.
+func (cm ConfusionMatrix) Accuracy() float64 {
+	if cm.Total == 0 {
+		return 0
+	}
+	return float64(cm.Correct) / float64(cm.Total)
+}
+
+// Precision returns the precision of one class: correct positive
+// predictions over all positive predictions (0 if the class was never
+// predicted).
+func (cm ConfusionMatrix) Precision(class int) float64 {
+	predicted := 0
+	for t := range cm.Counts {
+		predicted += cm.Counts[t][class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(cm.Counts[class][class]) / float64(predicted)
+}
+
+// Recall returns the recall of one class: correct positive predictions over
+// all true members (0 for an absent class).
+func (cm ConfusionMatrix) Recall(class int) float64 {
+	actual := 0
+	for _, v := range cm.Counts[class] {
+		actual += v
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(cm.Counts[class][class]) / float64(actual)
+}
+
+// MacroF1 returns the unweighted mean F1 over classes that appear in the
+// data.
+func (cm ConfusionMatrix) MacroF1() float64 {
+	sum, n := 0.0, 0
+	for class := range cm.Counts {
+		actual := 0
+		for _, v := range cm.Counts[class] {
+			actual += v
+		}
+		if actual == 0 {
+			continue
+		}
+		p := cm.Precision(class)
+		r := cm.Recall(class)
+		if p+r > 0 {
+			sum += 2 * p * r / (p + r)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Format renders the matrix with per-class precision/recall.
+func (cm ConfusionMatrix) Format(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "true\\pred")
+	for p := range cm.Counts {
+		fmt.Fprintf(tw, "\t%d", p)
+	}
+	fmt.Fprintln(tw, "\trecall")
+	for t, row := range cm.Counts {
+		fmt.Fprintf(tw, "%d", t)
+		for _, v := range row {
+			fmt.Fprintf(tw, "\t%d", v)
+		}
+		fmt.Fprintf(tw, "\t%.2f\n", cm.Recall(t))
+	}
+	fmt.Fprint(tw, "precision")
+	for p := range cm.Counts {
+		fmt.Fprintf(tw, "\t%.2f", cm.Precision(p))
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+	fmt.Fprintf(w, "accuracy %.3f, macro-F1 %.3f over %d points\n", cm.Accuracy(), cm.MacroF1(), cm.Total)
+}

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dataset/synthetic"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+	"repro/internal/reduction"
+)
+
+func TestClassifierPredictMajority(t *testing.T) {
+	x := linalg.FromRows([][]float64{
+		{0}, {0.1}, {0.2}, // class 0 cluster
+		{10}, // lone class 1
+	})
+	ds := dataset.MustNew("c", x, []int{0, 0, 0, 1})
+	c := NewClassifier(ds, 3, nil)
+	if got := c.Predict([]float64{0.05}, -1); got != 0 {
+		t.Fatalf("Predict = %d", got)
+	}
+	if got := c.Predict([]float64{10.1}, -1); got != 0 {
+		// k=3 around the lone class-1 point still votes 2:1 for class 0.
+		t.Fatalf("majority vote = %d, want 0 (outvoted)", got)
+	}
+	c1 := NewClassifier(ds, 1, knn.Manhattan{})
+	if got := c1.Predict([]float64{10.1}, -1); got != 1 {
+		t.Fatalf("1-NN = %d", got)
+	}
+}
+
+func TestClassifierTieBreaksDeterministically(t *testing.T) {
+	x := linalg.FromRows([][]float64{{0}, {2}})
+	ds := dataset.MustNew("t", x, []int{1, 0})
+	c := NewClassifier(ds, 2, nil)
+	// One vote each: smaller label wins.
+	if got := c.Predict([]float64{1}, -1); got != 0 {
+		t.Fatalf("tie break = %d", got)
+	}
+}
+
+func TestClassifierKValidation(t *testing.T) {
+	ds := dataset.MustNew("v", linalg.NewDense(2, 1), []int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewClassifier(ds, 0, nil)
+}
+
+func TestLeaveOneOutConfusion(t *testing.T) {
+	// Two perfect clusters: perfect confusion matrix.
+	x := linalg.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1},
+		{50, 50}, {50.1, 50}, {50, 50.1}, {50.1, 50.1},
+	})
+	ds := dataset.MustNew("cm", x, []int{0, 0, 0, 0, 1, 1, 1, 1})
+	cm := NewClassifier(ds, 3, nil).LeaveOneOut()
+	if cm.Accuracy() != 1 || cm.Total != 8 || cm.Correct != 8 {
+		t.Fatalf("confusion = %+v", cm)
+	}
+	for class := 0; class < 2; class++ {
+		if cm.Precision(class) != 1 || cm.Recall(class) != 1 {
+			t.Fatalf("class %d precision/recall != 1", class)
+		}
+	}
+	if cm.MacroF1() != 1 {
+		t.Fatalf("macro F1 = %v", cm.MacroF1())
+	}
+	var buf bytes.Buffer
+	cm.Format(&buf)
+	if !strings.Contains(buf.String(), "macro-F1") {
+		t.Fatalf("Format incomplete:\n%s", buf.String())
+	}
+}
+
+func TestConfusionMatrixImbalanced(t *testing.T) {
+	// Hand-built matrix: class 0 predicted 3/4 right, class 1 1/2 right.
+	cm := ConfusionMatrix{
+		Counts:  [][]int{{3, 1}, {1, 1}},
+		Total:   6,
+		Correct: 4,
+	}
+	if got := cm.Accuracy(); math.Abs(got-4.0/6.0) > 1e-15 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := cm.Precision(0); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("precision(0) = %v", got)
+	}
+	if got := cm.Recall(1); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("recall(1) = %v", got)
+	}
+	if got := cm.Precision(1); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("precision(1) = %v", got)
+	}
+}
+
+func TestConfusionMatrixEdgeCases(t *testing.T) {
+	empty := ConfusionMatrix{Counts: [][]int{{0, 0}, {0, 0}}}
+	if empty.Accuracy() != 0 || empty.MacroF1() != 0 {
+		t.Fatalf("empty matrix stats nonzero")
+	}
+	if empty.Precision(0) != 0 || empty.Recall(1) != 0 {
+		t.Fatalf("empty class stats nonzero")
+	}
+}
+
+func TestClassifierReductionImprovesF1(t *testing.T) {
+	// End-to-end: on the noisy set, classifying in the coherent subspace
+	// beats classifying in the raw space.
+	ds, _ := synthetic.NoisyDataA(1)
+	raw := NewClassifier(ds, PaperK, nil).LeaveOneOut()
+
+	// Reduce to the most coherent directions.
+	reduced := reducedNoisyA(t, ds)
+	red := NewClassifier(reduced, PaperK, nil).LeaveOneOut()
+	if red.Accuracy() <= raw.Accuracy() {
+		t.Fatalf("reduced classifier %.3f not above raw %.3f", red.Accuracy(), raw.Accuracy())
+	}
+	if red.MacroF1() <= raw.MacroF1() {
+		t.Fatalf("reduced macro-F1 %.3f not above raw %.3f", red.MacroF1(), raw.MacroF1())
+	}
+}
+
+// reducedNoisyA projects the noisy data set onto its most coherent
+// directions (helper for the end-to-end classifier test).
+func reducedNoisyA(t *testing.T, ds *dataset.Dataset) *dataset.Dataset {
+	t.Helper()
+	p, err := reduction.Fit(ds.X, reduction.Options{ComputeCoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.ReduceDataset(ds, p.TopK(reduction.ByCoherence, 5), "noisy-A reduced")
+}

@@ -1,0 +1,549 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/reduction"
+)
+
+// The assertions in this file are the repository's reproduction criteria:
+// each checks a qualitative claim of the paper on the synthetic analogues
+// with the default seed (see EXPERIMENTS.md for paper-vs-measured numbers).
+
+func TestTable1Shapes(t *testing.T) {
+	res := Table1(Config{})
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(res.Rows))
+	}
+	wantDims := map[string]int{"musk-like": 166, "ionosphere-like": 34, "arrhythmia-like": 279}
+	for _, row := range res.Rows {
+		if wantDims[row.Dataset] != row.FullDims {
+			t.Fatalf("%s: dims %d", row.Dataset, row.FullDims)
+		}
+		// Optimal beats full-dimensional accuracy...
+		if row.OptimalAccuracy <= row.FullAccuracy {
+			t.Errorf("%s: optimal %.3f not above full %.3f", row.Dataset, row.OptimalAccuracy, row.FullAccuracy)
+		}
+		// ...at an aggressively small dimensionality...
+		if row.OptimalDims > row.FullDims/4 {
+			t.Errorf("%s: optimal dims %d not aggressive (full %d)", row.Dataset, row.OptimalDims, row.FullDims)
+		}
+		// ...while thresholding keeps far more dimensions than the optimum
+		// and lands near the full-dimensional accuracy, not the optimum.
+		if row.ThresholdDims <= 2*row.OptimalDims {
+			t.Errorf("%s: threshold dims %d not clearly larger than optimal %d", row.Dataset, row.ThresholdDims, row.OptimalDims)
+		}
+		if row.ThresholdAccuracy >= row.OptimalAccuracy {
+			t.Errorf("%s: threshold accuracy %.3f not below optimal %.3f", row.Dataset, row.ThresholdAccuracy, row.OptimalAccuracy)
+		}
+		// Aggressive reduction discards a large share of the variance
+		// (the paper reports ~60% discarded for Arrhythmia).
+		if row.Dataset == "arrhythmia-like" && row.VarianceRetained > 0.85 {
+			t.Errorf("arrhythmia: variance retained %.2f, expected substantial discard", row.VarianceRetained)
+		}
+		// Precision w.r.t. original neighbors is low at the optimum — the
+		// optimum does NOT mirror the original neighbors.
+		if row.NeighborPrecision > 0.8 {
+			t.Errorf("%s: precision at optimum %.2f suspiciously high", row.Dataset, row.NeighborPrecision)
+		}
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "musk-like") {
+		t.Fatalf("Format output missing rows:\n%s", buf.String())
+	}
+}
+
+func TestTable1ThresholdFractionConfigurable(t *testing.T) {
+	r1 := Table1(Config{ThresholdFrac: 0.01})
+	r10 := Table1(Config{ThresholdFrac: 0.10})
+	for i := range r1.Rows {
+		if r10.Rows[i].ThresholdDims >= r1.Rows[i].ThresholdDims {
+			t.Fatalf("%s: 10%% threshold (%d dims) not more aggressive than 1%% (%d)",
+				r1.Rows[i].Dataset, r10.Rows[i].ThresholdDims, r1.Rows[i].ThresholdDims)
+		}
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	r := Figure1()
+	if r.CoordinateA <= r.CoordinateB {
+		t.Fatalf("A's coordinate %.3f should exceed B's %.3f", r.CoordinateA, r.CoordinateB)
+	}
+	if r.FactorB <= r.FactorA {
+		t.Fatalf("B's coherence factor %.3f should exceed A's %.3f", r.FactorB, r.FactorA)
+	}
+	if r.ProbabilityB <= r.ProbabilityA {
+		t.Fatalf("B's coherence probability should exceed A's")
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "direction B") {
+		t.Fatalf("Format output incomplete")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	r := Figure2()
+	if math.Abs(r.OriginalDot) > 1e-12 {
+		t.Fatalf("original vectors not orthogonal: %v", r.OriginalDot)
+	}
+	if math.Abs(r.ScaledDot) < 1 {
+		t.Fatalf("scaling should clearly break orthogonality, dot=%v", r.ScaledDot)
+	}
+	if r.AngleDegrees > 85 || r.AngleDegrees < 5 {
+		t.Fatalf("scaled angle %.1f° not meaningfully non-orthogonal", r.AngleDegrees)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestCleanScattersShowGoodMatching(t *testing.T) {
+	// Figures 3/6/9: on the clean (normalized) data sets, eigenvalue
+	// magnitude and coherence probability correlate strongly.
+	for _, spec := range AllClean(1) {
+		r := Scatter(spec, reduction.ScalingStudentize)
+		if r.Correlation < 0.5 {
+			t.Errorf("%s: pearson %.3f, want strong positive", r.Dataset, r.Correlation)
+		}
+		if r.SpearmanCorrelation < 0.5 {
+			t.Errorf("%s: spearman %.3f, want strong positive", r.Dataset, r.SpearmanCorrelation)
+		}
+		if len(r.Points) != spec.Data.Dims() {
+			t.Errorf("%s: %d points for %d dims", r.Dataset, len(r.Points), spec.Data.Dims())
+		}
+		var buf bytes.Buffer
+		r.Format(&buf)
+		if !strings.Contains(buf.String(), "pearson") {
+			t.Fatalf("scatter Format incomplete")
+		}
+	}
+}
+
+func TestNoisyScattersShowPoorMatching(t *testing.T) {
+	// Figures 12/14: on the corrupted sets the matching is poor — "the
+	// largest few eigenvalues correspond to very low coherence probability
+	// and vice-versa". Checked three ways: (a) the most coherent
+	// eigenvector is NOT among the top eigenvalues, (b) the top-eigenvalue
+	// vector's coherence sits clearly below the best concept's, and (c) the
+	// eigenvalue/coherence correlation drops hard relative to the clean
+	// counterpart.
+	for _, tc := range []struct {
+		noisy, clean DatasetSpec
+	}{
+		{NoisyA(1), Ionosphere(1)},
+		{NoisyB(1), Arrhythmia(1)},
+	} {
+		r := Scatter(tc.noisy, reduction.ScalingNone)
+		clean := Scatter(tc.clean, reduction.ScalingStudentize)
+		if r.Correlation > clean.Correlation-0.1 {
+			t.Errorf("%s: pearson %.3f not clearly below clean %.3f", r.Dataset, r.Correlation, clean.Correlation)
+		}
+		topCoh := r.Points[0].Coherence
+		maxCoh, argmax := topCoh, 0
+		for i, p := range r.Points {
+			if p.Coherence > maxCoh {
+				maxCoh, argmax = p.Coherence, i
+			}
+		}
+		if argmax < 5 {
+			t.Errorf("%s: most coherent vector at eigenvalue rank %d, expected buried below the noise block", r.Dataset, argmax+1)
+		}
+		if maxCoh < topCoh+0.1 {
+			t.Errorf("%s: best concept coherence %.3f not clearly above top-eigenvalue coherence %.3f", r.Dataset, maxCoh, topCoh)
+		}
+	}
+}
+
+func TestCoherenceDistributionScalingLift(t *testing.T) {
+	// Figures 4/7/10: studentizing raises coherence probabilities
+	// (§2.2: "the process of performing the scaling is also likely to
+	// increase the absolute magnitude of the coherence probability").
+	for _, spec := range AllClean(1) {
+		r := CoherenceDistribution(spec)
+		if lift := r.MeanLift(); lift <= 0 {
+			t.Errorf("%s: scaling lift %.4f, want positive", r.Dataset, lift)
+		}
+		if len(r.ScaledCoherence) != spec.Data.Dims() || len(r.UnscaledCoherence) != spec.Data.Dims() {
+			t.Errorf("%s: series lengths wrong", r.Dataset)
+		}
+		var buf bytes.Buffer
+		r.Format(&buf)
+		if !strings.Contains(buf.String(), "lift") {
+			t.Fatalf("distribution Format incomplete")
+		}
+	}
+}
+
+func TestScalingQualityCurves(t *testing.T) {
+	// Figures 5/8/11: scaled curves reach a better optimum than unscaled,
+	// and the optimum beats the full-dimensional end of the curve.
+	for _, spec := range AllClean(1) {
+		r := ScalingQuality(spec)
+		scaled := r.Curve("scaled")
+		unscaled := r.Curve("unscaled")
+		if scaled.Optimal().Accuracy <= unscaled.Optimal().Accuracy {
+			t.Errorf("%s: scaled optimum %.3f not above unscaled %.3f",
+				r.Dataset, scaled.Optimal().Accuracy, unscaled.Optimal().Accuracy)
+		}
+		full, ok := scaled.At(spec.Data.Dims())
+		if !ok {
+			t.Fatalf("%s: full-dim point missing", r.Dataset)
+		}
+		if scaled.Optimal().Accuracy <= full.Accuracy {
+			t.Errorf("%s: scaled optimum not above full-dim accuracy", r.Dataset)
+		}
+		var buf bytes.Buffer
+		r.Format(&buf)
+		if !strings.Contains(buf.String(), "optimum") {
+			t.Fatalf("quality Format incomplete")
+		}
+	}
+}
+
+func TestOrderingQualityOnNoisyData(t *testing.T) {
+	// Figures 13/15: on the corrupted sets, coherence ordering dominates
+	// eigenvalue ordering, peaks at a small dimensionality, and the
+	// eigenvalue curve only recovers near full dimensionality.
+	for _, tc := range []struct {
+		spec       DatasetSpec
+		maxPeak    int
+		domThrough int // coherence must dominate at every dim <= this
+	}{
+		{NoisyA(1), 10, 10},
+		{NoisyB(1), 21, 15},
+	} {
+		r := OrderingQuality(tc.spec)
+		eig := r.Curve("eigenvalue ordering")
+		coh := r.Curve("coherence ordering")
+		if coh.Optimal().Accuracy <= eig.Optimal().Accuracy {
+			t.Errorf("%s: coherence optimum %.3f not above eigenvalue optimum %.3f",
+				r.Dataset, coh.Optimal().Accuracy, eig.Optimal().Accuracy)
+		}
+		if coh.Optimal().Dims > tc.maxPeak {
+			t.Errorf("%s: coherence peak at %d dims, want <= %d", r.Dataset, coh.Optimal().Dims, tc.maxPeak)
+		}
+		// Dominance through the aggressive-reduction regime (skipping dim 1,
+		// where a single direction's accuracy is noisy).
+		for i := range coh.Points {
+			d := coh.Points[i].Dims
+			if d <= 1 || d > tc.domThrough {
+				continue
+			}
+			if coh.Points[i].Accuracy < eig.Points[i].Accuracy {
+				t.Errorf("%s: eigenvalue ordering wins at %d dims (%.3f vs %.3f)",
+					r.Dataset, d, eig.Points[i].Accuracy, coh.Points[i].Accuracy)
+			}
+		}
+		// The eigenvalue curve's early points are far below its own full-
+		// dimensional value: reduction by eigenvalue always loses here.
+		full, _ := eig.At(tc.spec.Data.Dims())
+		early := eig.Points[1]
+		if early.Accuracy >= full.Accuracy {
+			t.Errorf("%s: eigenvalue ordering should lose information early (%.3f vs full %.3f)",
+				r.Dataset, early.Accuracy, full.Accuracy)
+		}
+	}
+}
+
+func TestUniformCoherenceMatchesTheory(t *testing.T) {
+	r := UniformCoherence(Config{})
+	want := 0.6826894921370859
+	if math.Abs(r.Theoretical-want) > 1e-12 {
+		t.Fatalf("theoretical value %v", r.Theoretical)
+	}
+	for i, d := range r.Dims {
+		if math.Abs(r.AxisCoherence[i]-want) > 0.02 {
+			t.Errorf("d=%d: axis coherence %.4f, want ≈%.4f", d, r.AxisCoherence[i], want)
+		}
+		if r.PCACoherenceSpread[i] > 0.15 {
+			t.Errorf("d=%d: PCA coherence spread %.3f, want flat", d, r.PCACoherenceSpread[i])
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestContrastSweepCollapses(t *testing.T) {
+	r := ContrastSweep(Config{})
+	if len(r.Contrast) != len(r.Dims) {
+		t.Fatalf("shape mismatch")
+	}
+	// Euclidean contrast collapses with d.
+	l2 := -1
+	for j, m := range r.Metrics {
+		if m == "L2" {
+			l2 = j
+		}
+	}
+	if l2 < 0 {
+		t.Fatalf("no L2 column")
+	}
+	first := r.Contrast[0][l2]
+	last := r.Contrast[len(r.Dims)-1][l2]
+	if last >= first/3 {
+		t.Errorf("L2 contrast did not collapse: %v -> %v", first, last)
+	}
+	// Fractional metric retains more contrast than L∞ in high d
+	// (reference [1]'s qualitative finding).
+	frac, cheb := -1, -1
+	for j, m := range r.Metrics {
+		switch m {
+		case "L0.5":
+			frac = j
+		case "Linf":
+			cheb = j
+		}
+	}
+	hi := len(r.Dims) - 1
+	if r.Contrast[hi][frac] <= r.Contrast[hi][cheb] {
+		t.Errorf("fractional contrast %.3f not above L∞ %.3f at d=%d",
+			r.Contrast[hi][frac], r.Contrast[hi][cheb], r.Dims[hi])
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestIndexPruningRecoversAfterReduction(t *testing.T) {
+	r := IndexPruning(Config{})
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	full, reduced := r.Rows[0], r.Rows[1]
+	// Full dimensionality: the kd-tree degenerates to ~full scans.
+	if full.KDTree < 0.5 {
+		t.Errorf("full-dim kd-tree scan fraction %.2f, expected near 1", full.KDTree)
+	}
+	// After aggressive reduction every structure prunes hard.
+	for name, v := range map[string]float64{"kdtree": reduced.KDTree, "rtree": reduced.RTree, "vafile": reduced.VAFile} {
+		if v > 0.5*full.KDTree && v > 0.3 {
+			t.Errorf("%s after reduction scans %.2f, expected strong pruning", name, v)
+		}
+	}
+	if reduced.KDTree >= full.KDTree {
+		t.Errorf("reduction did not improve kd-tree pruning: %.2f vs %.2f", reduced.KDTree, full.KDTree)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestSelectionAblation(t *testing.T) {
+	r := SelectionAblation(Config{})
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// On the noisy set, the coherence strategy beats the eigenvalue
+	// strategy.
+	byKey := map[string]SelectionAblationRow{}
+	for _, row := range r.Rows {
+		byKey[row.Dataset+"/"+row.Strategy] = row
+	}
+	eig := byKey["noisy-A/eigenvalue top-k (gap)"]
+	coh := byKey["noisy-A/coherence top-k (gap)"]
+	if coh.Accuracy <= eig.Accuracy {
+		t.Errorf("noisy-A: coherence strategy %.3f not above eigenvalue %.3f", coh.Accuracy, eig.Accuracy)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestMetricAblation(t *testing.T) {
+	r := MetricAblation(Config{})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.FullDim <= 0.5 || row.Reduced <= 0.5 {
+			t.Errorf("%s: implausible accuracy %+v", row.Metric, row)
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestScalingAblation(t *testing.T) {
+	r := ScalingAblation(Config{})
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ScaledOptimum <= row.UnscaledOptimum {
+			t.Errorf("%s: scaled optimum not better", row.Dataset)
+		}
+		if row.CoherenceLift <= 0 {
+			t.Errorf("%s: coherence lift %.3f not positive", row.Dataset, row.CoherenceLift)
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestQualityResultCurvePanicsOnUnknownLabel(t *testing.T) {
+	r := ScalingQuality(Ionosphere(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	r.Curve("nope")
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same config → identical results.
+	a := Scatter(Ionosphere(7), reduction.ScalingStudentize)
+	b := Scatter(Ionosphere(7), reduction.ScalingStudentize)
+	if a.Correlation != b.Correlation {
+		t.Fatalf("scatter not deterministic")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("scatter points differ at %d", i)
+		}
+	}
+}
+
+func TestLocalReductionExtension(t *testing.T) {
+	r := LocalReduction(Config{})
+	// The §3.1 claim: on union-of-subspaces data a single global reduction
+	// fails, while per-cluster reduction at the same aggressiveness clearly
+	// beats it and recovers nearly full-dimensional quality with an
+	// order-of-magnitude fewer dimensions per point.
+	if r.LocalAccuracy <= r.GlobalAccuracy+0.05 {
+		t.Errorf("local %.3f not clearly above global %.3f", r.LocalAccuracy, r.GlobalAccuracy)
+	}
+	if r.LocalAccuracy < 0.95*r.FullAccuracy {
+		t.Errorf("local %.3f does not recover full-dimensional quality %.3f", r.LocalAccuracy, r.FullAccuracy)
+	}
+	if r.GlobalAccuracy >= 0.95*r.FullAccuracy {
+		t.Errorf("global reduction at %d dims should fail on this data (%.3f vs full %.3f)",
+			r.GlobalDims, r.GlobalAccuracy, r.FullAccuracy)
+	}
+	if len(r.PerClusterSizes) != 5 {
+		t.Fatalf("cluster count %d", len(r.PerClusterSizes))
+	}
+	for c, dims := range r.PerClusterDims {
+		if dims != 3 {
+			t.Errorf("cluster %d dims %d, want 3", c, dims)
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}
+
+func TestIGridComparison(t *testing.T) {
+	r := IGridComparison(Config{})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Plausible accuracy under both notions; neither collapses.
+		if row.EuclideanAcc < 0.5 || row.IGridAcc < 0.5 {
+			t.Errorf("%s: accuracy collapsed: %+v", row.Dataset, row)
+		}
+	}
+	// Reference [3]'s claim: IGrid similarity retains far more contrast
+	// than L2 as dimensionality grows, and its advantage widens.
+	for _, cr := range r.ContrastRows {
+		if cr.IGridSpread <= cr.L2Spread {
+			t.Errorf("d=%d: igrid spread %.3f not above L2 %.3f", cr.Dims, cr.IGridSpread, cr.L2Spread)
+		}
+	}
+	last := r.ContrastRows[len(r.ContrastRows)-1]
+	if last.IGridSpread < 2*last.L2Spread {
+		t.Errorf("at d=%d igrid spread %.3f not >= 2x L2 %.3f", last.Dims, last.IGridSpread, last.L2Spread)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "contrast preservation") {
+		t.Fatalf("Format incomplete")
+	}
+}
+
+func TestImplicitDimensionality(t *testing.T) {
+	r := ImplicitDimensionality(Config{})
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		ratio := row.D2 / float64(row.AmbientDims)
+		isUniform := strings.HasPrefix(row.Dataset, "uniform")
+		if isUniform {
+			// §3: uniform data's implicit dimensionality equals the ambient
+			// dimensionality (estimator bias keeps the ratio below 1, but it
+			// stays high) and the coherence profile is flat.
+			if ratio < 0.4 {
+				t.Errorf("%s: D2/d = %.2f, expected high", row.Dataset, ratio)
+			}
+			if row.CoherenceSpread > 0.2 {
+				t.Errorf("%s: coherence spread %.3f, expected flat", row.Dataset, row.CoherenceSpread)
+			}
+			continue
+		}
+		// The analogues: low implicit dimensionality, peaked coherence.
+		if ratio > 0.3 {
+			t.Errorf("%s: D2/d = %.2f, expected low implicit dimensionality", row.Dataset, ratio)
+		}
+		if row.CoherenceSpread < 0.5 {
+			t.Errorf("%s: coherence spread %.3f, expected strongly peaked", row.Dataset, row.CoherenceSpread)
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "D2") {
+		t.Fatalf("Format incomplete")
+	}
+}
+
+func TestNoiseAblation(t *testing.T) {
+	r := NoiseAblation(Config{})
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	// The value of aggressive reduction grows with the ambient noise...
+	if last.Benefit < first.Benefit+0.03 {
+		t.Errorf("benefit did not grow with noise: %.3f -> %.3f", first.Benefit, last.Benefit)
+	}
+	// ...and the optimum becomes more aggressive.
+	if last.OptimalDims >= first.OptimalDims {
+		t.Errorf("optimal dims did not shrink with noise: %d -> %d", first.OptimalDims, last.OptimalDims)
+	}
+	// Full-dimensional accuracy degrades monotonically with noise.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].FullAccuracy > r.Rows[i-1].FullAccuracy+0.01 {
+			t.Errorf("full accuracy rose with noise at row %d", i)
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty Format")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Figure1Result reproduces the paper's Figure 1 thought experiment: two
+// candidate directions for the same point, where direction A has the larger
+// absolute coordinate (hence the larger eigenvalue contribution) but its
+// per-dimension contributions are widely spread, while direction B's smaller
+// coordinate comes from tightly agreeing contributions — so B is the more
+// coherent (more meaningful) direction despite the smaller eigenvalue.
+type Figure1Result struct {
+	Dims int
+	// CoordinateA/B are the projections |X·e| of the constructed point on
+	// each direction (A larger).
+	CoordinateA, CoordinateB float64
+	// FactorA/B are the coherence factors (B larger).
+	FactorA, FactorB float64
+	// ProbabilityA/B are the coherence probabilities (B larger).
+	ProbabilityA, ProbabilityB float64
+	// HistA/B are the contribution distributions the figure draws.
+	HistA, HistB *stats.Histogram
+}
+
+// Figure1 constructs the two-direction example deterministically.
+func Figure1() Figure1Result {
+	const d = 200
+	rng := rand.New(rand.NewSource(1))
+	e := make([]float64, d)
+	for j := range e {
+		e[j] = 1 / math.Sqrt(float64(d))
+	}
+	// Contributions c_j = x_j·e_j: direction A has mean 0.05 with sd 0.50
+	// (large deviation justified by large spread); direction B mean 0.03
+	// with sd 0.04 (smaller deviation, but far beyond its noise level).
+	xa := make([]float64, d)
+	xb := make([]float64, d)
+	for j := 0; j < d; j++ {
+		ca := 0.05 + 0.50*rng.NormFloat64()
+		cb := 0.03 + 0.04*rng.NormFloat64()
+		xa[j] = ca / e[j]
+		xb[j] = cb / e[j]
+	}
+	res := Figure1Result{Dims: d}
+	res.CoordinateA = math.Abs(linalg.Dot(xa, e))
+	res.CoordinateB = math.Abs(linalg.Dot(xb, e))
+	res.FactorA = core.CoherenceFactor(xa, e)
+	res.FactorB = core.CoherenceFactor(xb, e)
+	res.ProbabilityA = core.CoherenceProbability(xa, e)
+	res.ProbabilityB = core.CoherenceProbability(xb, e)
+	res.HistA = core.ContributionHistogram(xa, e, 21)
+	res.HistB = core.ContributionHistogram(xb, e, 21)
+	return res
+}
+
+// Format renders the Figure 1 comparison and ASCII histograms.
+func (r Figure1Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1: contribution distributions for two directions (d=%d)\n", r.Dims)
+	fmt.Fprintf(w, "direction A: |X·e|=%.3f coherence factor=%.2f probability=%.4f\n",
+		r.CoordinateA, r.FactorA, r.ProbabilityA)
+	fmt.Fprintf(w, "direction B: |X·e|=%.3f coherence factor=%.2f probability=%.4f\n",
+		r.CoordinateB, r.FactorB, r.ProbabilityB)
+	fmt.Fprintf(w, "A deviates more (%0.1fx) yet B is the more coherent direction\n",
+		r.CoordinateA/r.CoordinateB)
+	fmt.Fprintln(w, "contributions of original dimensions (A wide, B tight):")
+	writeHistogram(w, "A", r.HistA)
+	writeHistogram(w, "B", r.HistB)
+}
+
+func writeHistogram(w io.Writer, label string, h *stats.Histogram) {
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if max > 0 {
+			for n := 0; n < 40*c/max; n++ {
+				bar += "#"
+			}
+		}
+		fmt.Fprintf(w, "  %s % 8.3f |%s %d\n", label, h.BinCenter(i), bar, c)
+	}
+}
+
+// Figure2Result reproduces Figure 2: an orthogonal basis stops being
+// orthogonal once the axes are rescaled, which is why the choice of data
+// scaling changes the PCA basis (§2.2).
+type Figure2Result struct {
+	// V1, V2 are the original orthogonal directions.
+	V1, V2 []float64
+	// ScaledV1, ScaledV2 are their images under the anisotropic scaling.
+	ScaledV1, ScaledV2 []float64
+	// OriginalDot is V1·V2 (zero) and ScaledDot the post-scaling dot
+	// product (nonzero).
+	OriginalDot, ScaledDot float64
+	// AngleDegrees is the post-scaling angle between the vectors.
+	AngleDegrees float64
+}
+
+// Figure2 applies the scaling s = (3, 1/3) to the orthogonal pair
+// (1,1)/√2 and (1,−1)/√2.
+func Figure2() Figure2Result {
+	v1 := []float64{1 / math.Sqrt2, 1 / math.Sqrt2}
+	v2 := []float64{1 / math.Sqrt2, -1 / math.Sqrt2}
+	scale := []float64{3, 1.0 / 3.0}
+	s1 := []float64{v1[0] * scale[0], v1[1] * scale[1]}
+	s2 := []float64{v2[0] * scale[0], v2[1] * scale[1]}
+	dot := linalg.Dot(s1, s2)
+	cos := dot / (linalg.Norm2(s1) * linalg.Norm2(s2))
+	return Figure2Result{
+		V1: v1, V2: v2, ScaledV1: s1, ScaledV2: s2,
+		OriginalDot: linalg.Dot(v1, v2), ScaledDot: dot,
+		AngleDegrees: math.Acos(cos) * 180 / math.Pi,
+	}
+}
+
+// Format renders the Figure 2 demonstration.
+func (r Figure2Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2: scaling destroys orthogonality")
+	fmt.Fprintf(w, "v1=%v v2=%v  v1·v2=%.3g\n", r.V1, r.V2, r.OriginalDot)
+	fmt.Fprintf(w, "after scaling by (3, 1/3): s1=%v s2=%v  s1·s2=%.3f (angle %.1f°)\n",
+		r.ScaledV1, r.ScaledV2, r.ScaledDot, r.AngleDegrees)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/index"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+	"repro/internal/reduction"
+)
+
+// ContrastResult quantifies the §1.1 meaningfulness collapse: the relative
+// contrast (Dmax−Dmin)/Dmin of nearest-neighbor queries on uniform data as
+// dimensionality grows, under several metrics (the fractional metrics of
+// reference [1] degrade more slowly).
+type ContrastResult struct {
+	Dims    []int
+	Metrics []string
+	// Contrast[i][j] is the mean relative contrast at Dims[i] under
+	// Metrics[j].
+	Contrast [][]float64
+}
+
+// ContrastSweep measures relative contrast over a dimensionality sweep.
+func ContrastSweep(cfg Config) ContrastResult {
+	c := cfg.withDefaults()
+	metrics := []knn.Metric{knn.NewMinkowski(0.5), knn.Manhattan{}, knn.Euclidean{}, knn.Chebyshev{}}
+	res := ContrastResult{Dims: []int{2, 5, 10, 20, 50, 100, 200}}
+	for _, m := range metrics {
+		res.Metrics = append(res.Metrics, m.Name())
+	}
+	for _, d := range res.Dims {
+		ds := synthetic.UniformCube("u", 800, d, c.Seed)
+		queries := ds.X.SliceRows([]int{0, 1, 2, 3, 4, 5, 6, 7})
+		data := ds.X.SliceRows(rangeInts(8, ds.N()))
+		row := make([]float64, len(metrics))
+		for j, m := range metrics {
+			rep, err := knn.RelativeContrast(data, queries, m)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: contrast d=%d: %v", d, err))
+			}
+			row[j] = rep.MeanRelativeContrast
+		}
+		res.Contrast = append(res.Contrast, row)
+	}
+	return res
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// Format renders the contrast sweep.
+func (r ContrastResult) Format(w io.Writer) {
+	fmt.Fprintln(w, "§1.1: relative contrast (Dmax−Dmin)/Dmin on uniform data")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "dims")
+	for _, m := range r.Metrics {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw)
+	for i, d := range r.Dims {
+		fmt.Fprintf(tw, "%d", d)
+		for _, v := range r.Contrast[i] {
+			fmt.Fprintf(tw, "\t%.3f", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// PruningRow reports index pruning effectiveness in one representation.
+type PruningRow struct {
+	Representation string
+	Dims           int
+	// ScanFraction per structure: fraction of stored vectors whose exact
+	// distance had to be computed, averaged over the query workload.
+	KDTree, RTree, VAFile, IDistance float64
+}
+
+// PruningResult is the "dimensionality reduction makes indexes practical"
+// demonstration: k-NN scan fractions on the full-dimensional Arrhythmia
+// analogue versus its aggressively reduced form.
+type PruningResult struct {
+	Queries int
+	Rows    []PruningRow
+}
+
+// IndexPruning measures pruning before and after reduction. It uses a
+// larger draw from the Arrhythmia-analogue distribution (partition indexes
+// only become interesting at database sizes well above the UCI sample).
+func IndexPruning(cfg Config) PruningResult {
+	c := cfg.withDefaults()
+	gen := synthetic.ArrhythmiaLikeConfig(c.Seed)
+	gen.N = 6000
+	data := synthetic.MustGenerate(gen)
+	p, err := reduction.Fit(data.X, reduction.Options{Scaling: reduction.ScalingStudentize})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pruning fit: %v", err))
+	}
+	full := p.TransformAll(data.X) // rotation: same distances, fair comparison
+	reduced := p.Transform(data.X, p.TopK(reduction.ByEigenvalue, 10))
+
+	const queries = 25
+	res := PruningResult{Queries: queries}
+	rng := rand.New(rand.NewSource(c.Seed))
+	for _, rep := range []struct {
+		name string
+		data *linalg.Dense
+	}{
+		{"full (279 dims, rotated)", full},
+		{"reduced (top 10 components)", reduced},
+	} {
+		kd := index.BuildKDTree(rep.data, 0)
+		rt := index.BuildRTree(rep.data, 0)
+		va := index.BuildVAFile(rep.data, 6)
+		idist := index.BuildIDistance(rep.data, 16, c.Seed)
+		var kdStats, rtStats, vaStats, idStats index.Stats
+		n := rep.data.Rows()
+		for q := 0; q < queries; q++ {
+			query := rep.data.Row(rng.Intn(n))
+			_, s1 := kd.KNN(query, 3)
+			kdStats.Add(s1)
+			_, s2 := rt.KNN(query, 3)
+			rtStats.Add(s2)
+			_, s3 := va.KNN(query, 3)
+			vaStats.Add(s3)
+			_, s4 := idist.KNN(query, 3)
+			idStats.Add(s4)
+		}
+		total := queries * n
+		res.Rows = append(res.Rows, PruningRow{
+			Representation: rep.name,
+			Dims:           rep.data.Cols(),
+			KDTree:         index.ScanFraction(kdStats, total),
+			RTree:          index.ScanFraction(rtStats, total),
+			VAFile:         index.ScanFraction(vaStats, total),
+			IDistance:      index.ScanFraction(idStats, total),
+		})
+	}
+	return res
+}
+
+// Format renders the pruning comparison.
+func (r PruningResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Index pruning: fraction of vectors scanned per 3-NN query (%d queries)\n", r.Queries)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "representation\tdims\tkd-tree\tr-tree\tva-file\tidistance")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", row.Representation, row.Dims,
+			fmtPct(row.KDTree), fmtPct(row.RTree), fmtPct(row.VAFile), fmtPct(row.IDistance))
+	}
+	tw.Flush()
+}

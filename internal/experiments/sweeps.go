@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/eval"
+	"repro/internal/reduction"
+)
+
+// QualityResult bundles accuracy-versus-dimensionality curves for one data
+// set — the shape of Figures 5, 8, 11 (scaled vs unscaled) and 13, 15
+// (eigenvalue vs coherence ordering).
+type QualityResult struct {
+	Dataset string
+	Curves  []eval.Curve
+}
+
+// ScalingQuality produces the Figures 5/8/11 comparison: the feature-
+// stripped accuracy sweep under eigenvalue ordering, for both unscaled
+// (covariance) and scaled (correlation) PCA.
+func ScalingQuality(spec DatasetSpec) QualityResult {
+	res := QualityResult{Dataset: spec.Data.Name}
+	for _, scaling := range []reduction.Scaling{reduction.ScalingNone, reduction.ScalingStudentize} {
+		p, err := reduction.Fit(spec.Data.X, reduction.Options{Scaling: scaling})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: scaling quality fit %s: %v", spec.Data.Name, err))
+		}
+		label := "unscaled"
+		if scaling == reduction.ScalingStudentize {
+			label = "scaled"
+		}
+		res.Curves = append(res.Curves, eval.Sweep(spec.Data, p, p.Order(reduction.ByEigenvalue), label,
+			eval.SweepConfig{Dims: spec.SweepDims}))
+	}
+	return res
+}
+
+// OrderingQuality produces the Figures 13/15 comparison on the corrupted
+// data sets: eigenvalue ordering versus coherence-probability ordering,
+// both on raw scales (where the injected noise owns the top eigenvalues).
+func OrderingQuality(spec DatasetSpec) QualityResult {
+	p, err := reduction.Fit(spec.Data.X, reduction.Options{ComputeCoherence: true})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ordering quality fit %s: %v", spec.Data.Name, err))
+	}
+	res := QualityResult{Dataset: spec.Data.Name}
+	res.Curves = append(res.Curves,
+		eval.Sweep(spec.Data, p, p.Order(reduction.ByEigenvalue), "eigenvalue ordering",
+			eval.SweepConfig{Dims: spec.SweepDims}),
+		eval.Sweep(spec.Data, p, p.Order(reduction.ByCoherence), "coherence ordering",
+			eval.SweepConfig{Dims: spec.SweepDims}),
+	)
+	return res
+}
+
+// Curve returns the curve with the given label, or panics — drivers always
+// construct both.
+func (r QualityResult) Curve(label string) eval.Curve {
+	for _, c := range r.Curves {
+		if c.Label == label {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("experiments: no curve %q in %s result", label, r.Dataset))
+}
+
+// Format renders the curves side by side.
+func (r QualityResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Prediction accuracy vs dimensions retained: %s\n", r.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "dims")
+	for _, c := range r.Curves {
+		fmt.Fprintf(tw, "\t%s", c.Label)
+	}
+	fmt.Fprintln(tw)
+	for i := range r.Curves[0].Points {
+		fmt.Fprintf(tw, "%d", r.Curves[0].Points[i].Dims)
+		for _, c := range r.Curves {
+			fmt.Fprintf(tw, "\t%s", fmtPct(c.Points[i].Accuracy))
+		}
+		fmt.Fprintln(tw)
+	}
+	for _, c := range r.Curves {
+		opt := c.Optimal()
+		fmt.Fprintf(tw, "optimum[%s]\t%s at %d dims (%.0f%% variance kept)\n",
+			c.Label, fmtPct(opt.Accuracy), opt.Dims, 100*opt.EnergyFraction)
+	}
+	tw.Flush()
+}

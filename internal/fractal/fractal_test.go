@@ -1,0 +1,119 @@
+package fractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/linalg"
+)
+
+func TestCorrelationDimensionLineInHighD(t *testing.T) {
+	// Points on a 1-D line embedded in 10-D: D₂ ≈ 1.
+	rng := rand.New(rand.NewSource(1))
+	n := 800
+	x := linalg.NewDense(n, 10)
+	dir := make([]float64, 10)
+	for j := range dir {
+		dir[j] = rng.NormFloat64()
+	}
+	linalg.Normalize(dir)
+	for i := 0; i < n; i++ {
+		tpos := rng.Float64() * 100
+		for j := 0; j < 10; j++ {
+			x.Set(i, j, tpos*dir[j])
+		}
+	}
+	est, err := CorrelationDimension(x, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.D2-1) > 0.2 {
+		t.Fatalf("line D2 = %v, want ≈1", est.D2)
+	}
+}
+
+func TestCorrelationDimensionUniformSquareAndCube(t *testing.T) {
+	for _, tc := range []struct {
+		d    int
+		want float64
+		tol  float64
+	}{
+		{2, 2, 0.35},
+		{3, 3, 0.5},
+	} {
+		ds := synthetic.UniformCube("u", 1200, tc.d, 2)
+		est, err := CorrelationDimension(ds.X, Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.D2-tc.want) > tc.tol {
+			t.Fatalf("uniform d=%d: D2 = %v, want ≈%v", tc.d, est.D2, tc.want)
+		}
+	}
+}
+
+func TestCorrelationDimensionLatentDataIsLow(t *testing.T) {
+	// A latent-factor data set in 30 ambient dims with 3 concepts: the
+	// implicit dimensionality is far below ambient.
+	ds := synthetic.MustGenerate(synthetic.LatentFactorConfig{
+		Name: "lat", N: 600, Dims: 30, Classes: 2,
+		ConceptStrengths: []float64{6, 6, 6}, ClassSeparation: 1,
+		NoiseStdDev: 0.15, Seed: 3,
+	})
+	est, err := CorrelationDimension(ds.X, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.D2 > 8 {
+		t.Fatalf("latent data D2 = %v, expected far below ambient 30", est.D2)
+	}
+	// Uniform data of the same ambient dimensionality measures much higher.
+	cube := synthetic.UniformCube("u", 600, 30, 3)
+	cubeEst, err := CorrelationDimension(cube.X, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cubeEst.D2 < 2*est.D2 {
+		t.Fatalf("uniform D2 %v not clearly above latent D2 %v", cubeEst.D2, est.D2)
+	}
+}
+
+func TestCorrelationDimensionValidation(t *testing.T) {
+	if _, err := CorrelationDimension(linalg.NewDense(5, 2), Options{}); err == nil {
+		t.Fatalf("too few points accepted")
+	}
+	// All points identical: degenerate distances rejected.
+	x := linalg.NewDense(20, 2)
+	if _, err := CorrelationDimension(x, Options{}); err == nil {
+		t.Fatalf("degenerate data accepted")
+	}
+}
+
+func TestCorrelationDimensionSamplingDeterministic(t *testing.T) {
+	// Sampled path (MaxPairs < total): deterministic per seed.
+	ds := synthetic.UniformCube("u", 400, 5, 4)
+	a, err := CorrelationDimension(ds.X, Options{MaxPairs: 5000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorrelationDimension(ds.X, Options{MaxPairs: 5000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.D2 != b.D2 || a.Pairs != 5000 {
+		t.Fatalf("sampled estimate not deterministic: %v vs %v", a.D2, b.D2)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // slope 2
+	if got := slope(xs, ys); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("slope = %v", got)
+	}
+	if got := slope([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Fatalf("vertical slope should return 0, got %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func benchPoints(n, d int) (*linalg.Dense, [][]float64) {
+	rng := rand.New(rand.NewSource(7))
+	m := randPoints(rng, n, d)
+	queries := make([][]float64, 32)
+	for i := range queries {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64() * 10
+		}
+		queries[i] = q
+	}
+	return m, queries
+}
+
+func benchIndexKNN(b *testing.B, build func(*linalg.Dense) Index, d int) {
+	b.Helper()
+	data, queries := benchPoints(10000, d)
+	idx := build(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.KNN(queries[i%len(queries)], 3)
+	}
+}
+
+func BenchmarkKDTree3NN_10000x4(b *testing.B) {
+	benchIndexKNN(b, func(m *linalg.Dense) Index { return BuildKDTree(m, 0) }, 4)
+}
+
+func BenchmarkKDTree3NN_10000x32(b *testing.B) {
+	benchIndexKNN(b, func(m *linalg.Dense) Index { return BuildKDTree(m, 0) }, 32)
+}
+
+func BenchmarkRTree3NN_10000x4(b *testing.B) {
+	benchIndexKNN(b, func(m *linalg.Dense) Index { return BuildRTree(m, 0) }, 4)
+}
+
+func BenchmarkVAFile3NN_10000x32(b *testing.B) {
+	benchIndexKNN(b, func(m *linalg.Dense) Index { return BuildVAFile(m, 6) }, 32)
+}
+
+func BenchmarkLinearScan3NN_10000x32(b *testing.B) {
+	benchIndexKNN(b, func(m *linalg.Dense) Index { return NewLinearScan(m) }, 32)
+}
+
+func BenchmarkBuildKDTree10000x16(b *testing.B) {
+	data, _ := benchPoints(10000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildKDTree(data, 0)
+	}
+}
+
+func BenchmarkBuildVAFile10000x16(b *testing.B) {
+	data, _ := benchPoints(10000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildVAFile(data, 6)
+	}
+}

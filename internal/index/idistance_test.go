@@ -1,0 +1,74 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestIDistanceValidation(t *testing.T) {
+	data := linalg.NewDense(5, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("partitions=0 must panic")
+		}
+	}()
+	BuildIDistance(data, 0, 1)
+}
+
+func TestIDistancePartitionsCappedAtN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randPoints(rng, 5, 2)
+	id := BuildIDistance(data, 50, 1)
+	if id.Partitions() > 5 {
+		t.Fatalf("partitions = %d", id.Partitions())
+	}
+	got, _ := id.KNN(data.Row(0), 2)
+	if got[0].Index != 0 || got[0].Dist != 0 {
+		t.Fatalf("self query wrong: %v", got)
+	}
+}
+
+func TestIDistancePrunesOnClusteredData(t *testing.T) {
+	// Well-separated clusters: most queries stay inside one partition band
+	// and scan a small fraction of the points.
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	data := linalg.NewDense(n, 6)
+	for i := 0; i < n; i++ {
+		c := i % 8
+		for j := 0; j < 6; j++ {
+			data.Set(i, j, float64(c*30)+rng.NormFloat64())
+		}
+	}
+	id := BuildIDistance(data, 8, 3)
+	var total Stats
+	const queries = 20
+	for q := 0; q < queries; q++ {
+		query := data.Row(rng.Intn(n))
+		_, st := id.KNN(query, 3)
+		total.Add(st)
+	}
+	if frac := float64(total.PointsScanned) / float64(queries*n); frac > 0.25 {
+		t.Fatalf("idistance scanned %.1f%% of points on clustered data", 100*frac)
+	}
+}
+
+func TestIDistanceDuplicatePoints(t *testing.T) {
+	data := linalg.NewDense(30, 2)
+	for i := 0; i < 30; i++ {
+		data.Set(i, 0, 1)
+		data.Set(i, 1, 2)
+	}
+	id := BuildIDistance(data, 3, 4)
+	got, _ := id.KNN([]float64{1, 2}, 5)
+	if len(got) != 5 {
+		t.Fatalf("results = %v", got)
+	}
+	for _, nb := range got {
+		if nb.Dist != 0 {
+			t.Fatalf("duplicate distance %v", nb.Dist)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+func TestIGridValidation(t *testing.T) {
+	data := linalg.NewDense(4, 2)
+	for name, fn := range map[string]func(){
+		"ranges 1":   func() { BuildIGrid(data, 1, 2) },
+		"ranges big": func() { BuildIGrid(data, 1<<17, 2) },
+		"p zero":     func() { BuildIGrid(data, 4, 0) },
+		"p inf":      func() { BuildIGrid(data, 4, math.Inf(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestIGridSelfSimilarityMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randPoints(rng, 100, 6)
+	g := BuildIGrid(data, 5, 2)
+	want := math.Pow(6, 1.0/2.0) // all d dims match with contribution 1
+	for i := 0; i < 10; i++ {
+		if got := g.Similarity(data.Row(i), i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("self similarity = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIGridSimilarityRespectsRanges(t *testing.T) {
+	// Points in clearly different ranges of every dimension share nothing.
+	data := linalg.FromRows([][]float64{
+		{0, 0}, {0.1, 0.1}, {10, 10}, {10.1, 10.1},
+		{0.05, 10.05}, {5, 5}, {2, 8}, {8, 2},
+	})
+	g := BuildIGrid(data, 2, 2)
+	if got := g.Similarity([]float64{0, 0}, 2); got != 0 {
+		t.Fatalf("cross-range similarity = %v, want 0", got)
+	}
+	if got := g.Similarity([]float64{0, 0}, 1); got <= 0 {
+		t.Fatalf("same-range similarity = %v, want > 0", got)
+	}
+}
+
+func TestIGridKNNAgreesWithBruteForceSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randPoints(rng, 300, 8)
+	g := BuildIGrid(data, 6, 2)
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float64, 8)
+		for j := range q {
+			q[j] = rng.Float64() * 10
+		}
+		k := 1 + rng.Intn(6)
+		got, stats := g.KNN(q, k)
+		if len(got) != k {
+			t.Fatalf("got %d results", len(got))
+		}
+		// Brute force over the Similarity function.
+		sims := make([]float64, 300)
+		for i := range sims {
+			sims[i] = g.Similarity(q, i)
+		}
+		for rank, nb := range got {
+			if math.Abs(nb.Dist-sims[nb.Index]) > 1e-9 {
+				t.Fatalf("trial %d rank %d: reported %v, direct %v", trial, rank, nb.Dist, sims[nb.Index])
+			}
+		}
+		// The k-th result's similarity must be >= every non-returned
+		// similarity.
+		inResult := map[int]bool{}
+		for _, nb := range got {
+			inResult[nb.Index] = true
+		}
+		kth := got[len(got)-1].Dist
+		for i, s := range sims {
+			if !inResult[i] && s > kth+1e-9 {
+				t.Fatalf("trial %d: missed better candidate %d (%v > %v)", trial, i, s, kth)
+			}
+		}
+		if stats.PointsScanned <= 0 || stats.NodesVisited < stats.PointsScanned {
+			t.Fatalf("implausible stats %+v", stats)
+		}
+	}
+}
+
+func TestIGridKNNPadsWhenFewCandidates(t *testing.T) {
+	data := linalg.FromRows([][]float64{{0}, {0.2}, {100}, {101}})
+	g := BuildIGrid(data, 2, 2)
+	got, _ := g.KNN([]float64{0.1}, 4)
+	if len(got) != 4 {
+		t.Fatalf("results = %v", got)
+	}
+	// The zero-similarity pads come last.
+	if got[len(got)-1].Dist != 0 {
+		t.Fatalf("expected zero-similarity padding, got %v", got)
+	}
+}
+
+func TestIGridConstantDimension(t *testing.T) {
+	data := linalg.FromRows([][]float64{{1, 7}, {2, 7}, {3, 7}})
+	g := BuildIGrid(data, 2, 2)
+	got, _ := g.KNN([]float64{1.1, 7}, 1)
+	if got[0].Index != 0 {
+		t.Fatalf("nearest = %v", got)
+	}
+	// The constant dimension contributes exactly 1 to everyone.
+	if s := g.Similarity([]float64{0.9, 7}, 0); s <= 1 {
+		t.Fatalf("similarity with constant dim = %v", s)
+	}
+}
+
+func TestIGridQueryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := BuildIGrid(randPoints(rng, 10, 3), 3, 2)
+	for name, fn := range map[string]func(){
+		"dims":     func() { g.KNN([]float64{1}, 1) },
+		"k":        func() { g.KNN([]float64{1, 2, 3}, 0) },
+		"sim dims": func() { g.Similarity([]float64{1}, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestIGridEquiDepthBalanced(t *testing.T) {
+	// Skewed data: equi-depth ranges hold roughly equal counts where
+	// equi-width would collapse most points into one cell.
+	rng := rand.New(rand.NewSource(4))
+	n := 4000
+	data := linalg.NewDense(n, 1)
+	for i := 0; i < n; i++ {
+		data.Set(i, 0, math.Exp(rng.NormFloat64()*2)) // log-normal skew
+	}
+	g := BuildIGrid(data, 8, 2)
+	for r, list := range g.lists[0] {
+		frac := float64(len(list)) / float64(n)
+		if frac < 0.05 || frac > 0.25 {
+			t.Fatalf("range %d holds %.1f%% of points, want ≈12.5%%", r, 100*frac)
+		}
+	}
+}
+
+func TestIGridAccuracyOnClusteredData(t *testing.T) {
+	// IGrid similarity must retrieve same-cluster points.
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	data := linalg.NewDense(n, 10)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		labels[i] = c
+		for j := 0; j < 10; j++ {
+			data.Set(i, j, float64(c*10)+rng.NormFloat64())
+		}
+	}
+	g := BuildIGrid(data, 4, 2)
+	matches, total := 0, 0
+	for i := 0; i < n; i++ {
+		got, _ := g.KNN(data.Row(i), 4) // self + 3
+		for _, nb := range got {
+			if nb.Index == i {
+				continue
+			}
+			total++
+			if labels[nb.Index] == labels[i] {
+				matches++
+			}
+		}
+	}
+	if acc := float64(matches) / float64(total); acc < 0.95 {
+		t.Fatalf("igrid cluster accuracy = %v", acc)
+	}
+}
+
+var _ = knn.Neighbor{}

@@ -1,0 +1,65 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ContrastReport summarizes nearest/farthest-neighbor contrast for a query
+// workload — the meaningfulness measure of Beyer et al. (the paper's
+// reference [5]) discussed in §1.1: when the relative contrast
+// (Dmax − Dmin)/Dmin approaches zero, the nearest neighbor is unstable and
+// partition-based index pruning cannot work.
+type ContrastReport struct {
+	// MeanRelativeContrast is the average of (Dmax−Dmin)/Dmin over queries.
+	MeanRelativeContrast float64
+	// MeanRatio is the average Dmax/Dmin over queries.
+	MeanRatio float64
+	// MinRelativeContrast is the worst (smallest) per-query contrast seen.
+	MinRelativeContrast float64
+}
+
+// RelativeContrast measures contrast of each query row against all data
+// rows under the metric. Queries identical to a data point (distance 0) use
+// the smallest nonzero distance as Dmin; a query where all distances are
+// zero is rejected.
+func RelativeContrast(data, queries *linalg.Dense, m Metric) (ContrastReport, error) {
+	if data.Cols() != queries.Cols() {
+		return ContrastReport{}, fmt.Errorf("knn: contrast dimension mismatch %d vs %d", data.Cols(), queries.Cols())
+	}
+	nq := queries.Rows()
+	sumRel, sumRatio := 0.0, 0.0
+	minRel := math.Inf(1)
+	for qi := 0; qi < nq; qi++ {
+		q := queries.RawRow(qi)
+		dmin, dmax := math.Inf(1), 0.0
+		for i := 0; i < data.Rows(); i++ {
+			d := m.Distance(data.RawRow(i), q)
+			if d == 0 {
+				continue // skip exact duplicates of the query
+			}
+			if d < dmin {
+				dmin = d
+			}
+			if d > dmax {
+				dmax = d
+			}
+		}
+		if math.IsInf(dmin, 1) {
+			return ContrastReport{}, fmt.Errorf("knn: query %d coincides with every data point", qi)
+		}
+		rel := (dmax - dmin) / dmin
+		sumRel += rel
+		sumRatio += dmax / dmin
+		if rel < minRel {
+			minRel = rel
+		}
+	}
+	return ContrastReport{
+		MeanRelativeContrast: sumRel / float64(nq),
+		MeanRatio:            sumRatio / float64(nq),
+		MinRelativeContrast:  minRel,
+	}, nil
+}

@@ -1,0 +1,31 @@
+package knn_test
+
+import (
+	"fmt"
+
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// Basic exact search with leave-one-out exclusion.
+func ExampleSearch() {
+	data := linalg.FromRows([][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {5, 5},
+	})
+	// Nearest two neighbors of row 0, excluding row 0 itself.
+	res := knn.Search(data, data.Row(0), 2, knn.Euclidean{}, 0)
+	for _, nb := range res {
+		fmt.Printf("point %d at distance %.0f\n", nb.Index, nb.Dist)
+	}
+	// Output:
+	// point 1 at distance 1
+	// point 2 at distance 1
+}
+
+// Fractional metrics retain more contrast in high dimensionality than
+// integer-order ones (the paper's reference [1]).
+func ExampleMinkowski() {
+	m := knn.NewMinkowski(0.5)
+	fmt.Printf("%s distance: %.0f\n", m.Name(), m.Distance([]float64{0, 0}, []float64{1, 1}))
+	// Output: L0.5 distance: 4
+}

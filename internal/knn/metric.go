@@ -1,0 +1,154 @@
+// Package knn provides the similarity-search kernel: distance metrics
+// (including the fractional L_p metrics of the paper's reference [1]),
+// exact k-nearest-neighbor search over dense point sets, and the
+// relative-contrast instability measure of Beyer et al. that motivates the
+// paper's §1.1.
+package knn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric is a dissimilarity function over equal-length vectors. All
+// implementations in this package are symmetric and zero on identical
+// inputs; true metrics additionally satisfy the triangle inequality
+// (Cosine and fractional Minkowski do not).
+type Metric interface {
+	// Distance returns the dissimilarity between a and b.
+	Distance(a, b []float64) float64
+	// Name identifies the metric in reports.
+	Name() string
+}
+
+// Euclidean is the L₂ metric.
+type Euclidean struct{}
+
+// Distance implements Metric.
+func (Euclidean) Distance(a, b []float64) float64 {
+	checkLens(a, b)
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "L2" }
+
+// SquaredEuclidean is L₂² — monotone in L₂, so nearest-neighbor rankings
+// agree while avoiding the square root.
+type SquaredEuclidean struct{}
+
+// Distance implements Metric.
+func (SquaredEuclidean) Distance(a, b []float64) float64 {
+	checkLens(a, b)
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Name implements Metric.
+func (SquaredEuclidean) Name() string { return "L2sq" }
+
+// Manhattan is the L₁ metric.
+type Manhattan struct{}
+
+// Distance implements Metric.
+func (Manhattan) Distance(a, b []float64) float64 {
+	checkLens(a, b)
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "L1" }
+
+// Chebyshev is the L∞ metric.
+type Chebyshev struct{}
+
+// Distance implements Metric.
+func (Chebyshev) Distance(a, b []float64) float64 {
+	checkLens(a, b)
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Name implements Metric.
+func (Chebyshev) Name() string { return "Linf" }
+
+// Minkowski is the L_p metric for any p > 0. For p < 1 it is the fractional
+// "distance metric" studied in the paper's reference [1] (Aggarwal,
+// Hinneburg & Keim, ICDT 2001): not a true metric (the triangle inequality
+// fails) but better-behaved for high-dimensional contrast.
+type Minkowski struct{ P float64 }
+
+// NewMinkowski validates p and returns the metric.
+func NewMinkowski(p float64) Minkowski {
+	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
+		panic(fmt.Sprintf("knn: Minkowski p=%v must be a positive finite number", p))
+	}
+	return Minkowski{P: p}
+}
+
+// Distance implements Metric.
+func (m Minkowski) Distance(a, b []float64) float64 {
+	checkLens(a, b)
+	s := 0.0
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), m.P)
+	}
+	return math.Pow(s, 1/m.P)
+}
+
+// Name implements Metric.
+func (m Minkowski) Name() string { return fmt.Sprintf("L%g", m.P) }
+
+// Cosine is the cosine distance 1 − cos(a,b). A zero vector has undefined
+// angle; it is treated as maximally distant (distance 1) from everything,
+// including another zero vector.
+type Cosine struct{}
+
+// Distance implements Metric.
+func (Cosine) Distance(a, b []float64) float64 {
+	checkLens(a, b)
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := dot / math.Sqrt(na*nb)
+	// Clamp against floating-point drift so the distance stays in [0,2].
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// Name implements Metric.
+func (Cosine) Name() string { return "cosine" }
+
+func checkLens(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("knn: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}

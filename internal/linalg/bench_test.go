@@ -1,0 +1,73 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSym(n int) *Dense {
+	rng := rand.New(rand.NewSource(99))
+	return randSym(rng, n)
+}
+
+func BenchmarkEigSymQL64(b *testing.B) {
+	a := benchSym(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigSymQL(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigSymQL256(b *testing.B) {
+	a := benchSym(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigSymQL(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigSymJacobi64(b *testing.B) {
+	a := benchSym(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigSymJacobi(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randDense(rng, 128, 128)
+	y := randDense(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func BenchmarkSVD64x32(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQR256x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := randDense(rng, 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := QR(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

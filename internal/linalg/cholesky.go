@@ -1,0 +1,87 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CholeskyDecomposition holds the lower-triangular Cholesky factor L of a
+// symmetric positive-definite matrix A = L Lᵀ.
+type CholeskyDecomposition struct {
+	L *Dense
+}
+
+// ErrNotPositiveDefinite is returned when Cholesky factorization encounters a
+// non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower Cholesky factor of the symmetric positive
+// definite matrix a. The input is not modified.
+func Cholesky(a *Dense) (*CholeskyDecomposition, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", n, c)
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		sum := a.At(j, j)
+		lrowj := l.RawRow(j)
+		for k := 0; k < j; k++ {
+			sum -= lrowj[k] * lrowj[k]
+		}
+		if sum <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(sum)
+		lrowj[j] = ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.RawRow(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s / ljj
+		}
+	}
+	return &CholeskyDecomposition{L: l}, nil
+}
+
+// Solve solves A x = b using the factorization.
+func (c *CholeskyDecomposition) Solve(b []float64) ([]float64, error) {
+	n := c.L.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: Cholesky Solve rhs length %d, want %d", len(b), n)
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := c.L.RawRow(i)
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * y[j]
+		}
+		y[i] = s / row[i]
+	}
+	// Backward: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.L.At(j, i) * x[j]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x, nil
+}
+
+// LogDet returns the natural log of the determinant of the factored matrix,
+// computed stably from the factor diagonal.
+func (c *CholeskyDecomposition) LogDet() float64 {
+	n := c.L.Rows()
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}

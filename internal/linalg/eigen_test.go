@@ -1,0 +1,238 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func checkEigen(t *testing.T, a *Dense, ed *EigenDecomposition, tol float64) {
+	t.Helper()
+	n := a.Rows()
+	if len(ed.Values) != n {
+		t.Fatalf("got %d eigenvalues, want %d", len(ed.Values), n)
+	}
+	// Sorted ascending.
+	if !sort.Float64sAreSorted(ed.Values) {
+		t.Fatalf("eigenvalues not ascending: %v", ed.Values)
+	}
+	// Residual ‖A·V − V·Λ‖.
+	if r := ed.Residual(a); r > tol {
+		t.Fatalf("eigen residual %g exceeds %g", r, tol)
+	}
+	// Orthonormality VᵀV = I.
+	vtv := ed.Vectors.T().Mul(ed.Vectors)
+	if !vtv.Equal(Identity(n), tol) {
+		t.Fatalf("eigenvectors not orthonormal, VᵀV deviates by %g", vtv.SubMat(Identity(n)).MaxAbs())
+	}
+	// Trace == sum of eigenvalues.
+	sum := 0.0
+	for _, v := range ed.Values {
+		sum += v
+	}
+	if math.Abs(sum-a.Trace()) > tol*float64(n) {
+		t.Fatalf("eigenvalue sum %v != trace %v", sum, a.Trace())
+	}
+}
+
+func TestEigSymDiagonal(t *testing.T) {
+	a := Diag([]float64{3, 1, 2})
+	ed, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(ed.Values, []float64{1, 2, 3}, 1e-12) {
+		t.Fatalf("eigenvalues of diag(3,1,2) = %v, want [1 2 3]", ed.Values)
+	}
+	checkEigen(t, a, ed, 1e-12)
+}
+
+func TestEigSym2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	ed, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(ed.Values, []float64{1, 3}, 1e-12) {
+		t.Fatalf("eigenvalues = %v, want [1 3]", ed.Values)
+	}
+	checkEigen(t, a, ed, 1e-12)
+}
+
+func TestEigSymIdentity(t *testing.T) {
+	ed, err := EigSym(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ed.Values {
+		if math.Abs(v-1) > 1e-14 {
+			t.Fatalf("identity eigenvalue %v != 1", v)
+		}
+	}
+}
+
+func TestEigSymRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{2, 3, 5, 10, 25, 60} {
+		a := randSym(rng, n)
+		ed, err := EigSym(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkEigen(t, a, ed, 1e-9)
+	}
+}
+
+func TestEigSymJacobiVsQL(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{3, 8, 20, 40} {
+		a := randSym(rng, n)
+		j, err := EigSymJacobi(a)
+		if err != nil {
+			t.Fatalf("jacobi n=%d: %v", n, err)
+		}
+		q, err := EigSymQL(a)
+		if err != nil {
+			t.Fatalf("ql n=%d: %v", n, err)
+		}
+		if !VecEqual(j.Values, q.Values, 1e-8) {
+			t.Fatalf("n=%d eigenvalues disagree:\njacobi %v\nql     %v", n, j.Values, q.Values)
+		}
+		checkEigen(t, a, j, 1e-9)
+		checkEigen(t, a, q, 1e-9)
+	}
+}
+
+func TestEigSymPSDNonNegative(t *testing.T) {
+	// Covariance matrices are PSD; eigenvalues must be >= 0 (up to noise).
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5; trial++ {
+		b := randDense(rng, 12, 8)
+		a := b.T().Mul(b) // Gram matrix, PSD.
+		ed, err := EigSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range ed.Values {
+			if v < -1e-9 {
+				t.Fatalf("PSD matrix has negative eigenvalue %v", v)
+			}
+		}
+		checkEigen(t, a, ed, 1e-8)
+	}
+}
+
+func TestEigSymRepeatedEigenvalues(t *testing.T) {
+	// A matrix with a degenerate eigenspace: still must produce an
+	// orthonormal basis.
+	a := FromRows([][]float64{
+		{2, 0, 0},
+		{0, 2, 0},
+		{0, 0, 5},
+	})
+	ed, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(ed.Values, []float64{2, 2, 5}, 1e-12) {
+		t.Fatalf("eigenvalues = %v", ed.Values)
+	}
+	checkEigen(t, a, ed, 1e-12)
+}
+
+func TestEigSymRejectsNonSquare(t *testing.T) {
+	if _, err := EigSym(NewDense(2, 3)); err == nil {
+		t.Fatalf("expected error for non-square input")
+	}
+}
+
+func TestEigSymRejectsAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := EigSym(a); err == nil {
+		t.Fatalf("expected error for asymmetric input")
+	}
+}
+
+func TestEigenReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randSym(rng, 7)
+	ed, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ed.Reconstruct().Equal(a, 1e-9) {
+		t.Fatalf("V Λ Vᵀ does not reconstruct A")
+	}
+}
+
+func TestEigenDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randSym(rng, 6)
+	ed, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, vecs := ed.Descending()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			t.Fatalf("Descending not sorted: %v", vals)
+		}
+	}
+	// Each descending pair must still satisfy A v = λ v.
+	for i := 0; i < len(vals); i++ {
+		v := vecs.Col(i)
+		av := a.MulVec(v)
+		for k := range av {
+			if math.Abs(av[k]-vals[i]*v[k]) > 1e-9 {
+				t.Fatalf("descending pair %d violates A v = λ v", i)
+			}
+		}
+	}
+}
+
+func TestEigenPropertyQuick(t *testing.T) {
+	// Property: for random symmetric matrices of random small size, the
+	// decomposition reconstructs the input and V is orthogonal.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		a := randSym(rng, n)
+		ed, err := EigSym(a)
+		if err != nil {
+			return false
+		}
+		return ed.Reconstruct().Equal(a, 1e-8) &&
+			ed.Vectors.T().Mul(ed.Vectors).Equal(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigSymLargeCovarianceShape(t *testing.T) {
+	// A 150x150 covariance-like matrix (similar in size to the paper's Musk
+	// data set) must decompose quickly and accurately.
+	rng := rand.New(rand.NewSource(15))
+	b := randDense(rng, 200, 150)
+	a := b.T().Mul(b).Scale(1.0 / 200.0)
+	ed, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEigen(t, a, ed, 1e-7)
+}
+
+func TestEigSymNearScalarMatrix(t *testing.T) {
+	// Nearly-scalar matrices exercise the small-rotation paths.
+	a := Identity(5)
+	a.Set(0, 1, 1e-13)
+	a.Set(1, 0, 1e-13)
+	ed, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEigen(t, a, ed, 1e-10)
+}

@@ -1,0 +1,156 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// QRDecomposition holds a Householder QR factorization A = Q R of an m x n
+// matrix with m >= n. Q is m x n with orthonormal columns (thin Q) and R is
+// n x n upper triangular.
+type QRDecomposition struct {
+	Q *Dense
+	R *Dense
+}
+
+// QR computes the thin Householder QR factorization of a (m >= n required).
+// The input is not modified.
+func QR(a *Dense) (*QRDecomposition, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	// Store Householder vectors column by column; accumulate Q afterwards.
+	vs := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		col := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			col[i-k] = r.At(i, k)
+		}
+		alpha := Norm2(col)
+		if alpha == 0 {
+			vs[k] = nil
+			continue
+		}
+		if col[0] > 0 {
+			alpha = -alpha
+		}
+		v := make([]float64, m-k)
+		copy(v, col)
+		v[0] -= alpha
+		vn := Norm2(v)
+		if vn == 0 {
+			vs[k] = nil
+			r.Set(k, k, alpha)
+			continue
+		}
+		ScaleVec(1/vn, v)
+		vs[k] = v
+		// Apply H = I - 2 v vᵀ to the trailing submatrix of R.
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	// Accumulate thin Q by applying the reflectors to the first n columns of
+	// the identity, in reverse order.
+	q := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	// Zero the strictly-lower part of R and truncate to n x n.
+	rn := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rn.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QRDecomposition{Q: q, R: rn}, nil
+}
+
+// SolveLeastSquares solves min ‖a x − b‖₂ via QR. a must have rows >= cols
+// and full column rank.
+func SolveLeastSquares(a *Dense, b []float64) ([]float64, error) {
+	m, n := a.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: SolveLeastSquares rhs length %d, want %d", len(b), m)
+	}
+	qr, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	// x = R⁻¹ Qᵀ b
+	qtb := qr.Q.MulVecT(b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= qr.R.At(i, j) * x[j]
+		}
+		rii := qr.R.At(i, i)
+		if math.Abs(rii) < 1e-14*(1+math.Abs(s)) {
+			return nil, errors.New("linalg: SolveLeastSquares: rank-deficient matrix")
+		}
+		x[i] = s / rii
+	}
+	return x, nil
+}
+
+// GramSchmidt orthonormalizes the columns of a using modified Gram-Schmidt
+// with re-orthogonalization, returning a matrix with orthonormal columns
+// spanning the same space. Columns that are (numerically) linearly dependent
+// on earlier ones are dropped, so the result may have fewer columns.
+func GramSchmidt(a *Dense) *Dense {
+	m, n := a.Dims()
+	cols := make([][]float64, 0, n)
+	for j := 0; j < n; j++ {
+		v := a.Col(j)
+		orig := Norm2(v)
+		if orig == 0 {
+			continue
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, u := range cols {
+				Axpy(-Dot(u, v), u, v)
+			}
+		}
+		if Norm2(v) < 1e-12*orig {
+			continue // linearly dependent
+		}
+		Normalize(v)
+		cols = append(cols, v)
+	}
+	if len(cols) == 0 {
+		panic("linalg: GramSchmidt: all columns are zero")
+	}
+	out := NewDense(m, len(cols))
+	for j, v := range cols {
+		out.SetCol(j, v)
+	}
+	return out
+}

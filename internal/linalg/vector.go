@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow and
+// underflow by scaling.
+func Norm2(v []float64) float64 {
+	scale := 0.0
+	ssq := 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Norm1 returns the sum of absolute values of v.
+func Norm1(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the maximum absolute value of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies v by s in place.
+func ScaleVec(s float64, v []float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AddVec returns a + b as a new slice.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: AddVec length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// SubVec returns a - b as a new slice.
+func SubVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SubVec length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Normalize scales v in place to unit Euclidean norm and returns the original
+// norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(v []float64) float64 {
+	n := Norm2(v)
+	if n == 0 {
+		return 0
+	}
+	ScaleVec(1/n, v)
+	return n
+}
+
+// Unit returns a fresh unit-norm copy of v. Panics on the zero vector.
+func Unit(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	if Normalize(out) == 0 {
+		panic("linalg: Unit of zero vector")
+	}
+	return out
+}
+
+// VecEqual reports whether a and b agree elementwise to within tol.
+func VecEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Outer returns the outer product a bᵀ as a len(a) x len(b) matrix.
+func Outer(a, b []float64) *Dense {
+	m := NewDense(len(a), len(b))
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := m.RawRow(i)
+		for j, bv := range b {
+			row[j] = av * bv
+		}
+	}
+	return m
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dist2 length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,50 @@
+package reduction
+
+import (
+	"testing"
+
+	"repro/internal/dataset/synthetic"
+)
+
+func BenchmarkFitMusk(b *testing.B) {
+	ds := synthetic.MuskLike(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(ds.X, Options{Scaling: ScalingStudentize}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitMuskWithCoherence(b *testing.B) {
+	ds := synthetic.MuskLike(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(ds.X, Options{Scaling: ScalingStudentize, ComputeCoherence: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitArrhythmia(b *testing.B) {
+	ds := synthetic.ArrhythmiaLike(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(ds.X, Options{Scaling: ScalingStudentize}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformMuskTop13(b *testing.B) {
+	ds := synthetic.MuskLike(1)
+	p, err := Fit(ds.X, Options{Scaling: ScalingStudentize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comps := p.TopK(ByEigenvalue, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(ds.X, comps)
+	}
+}

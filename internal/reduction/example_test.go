@@ -1,0 +1,37 @@
+package reduction_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/reduction"
+)
+
+// Fitting with coherence analysis and selecting by the paper's rule.
+func ExampleFit() {
+	ds := synthetic.IonosphereLike(1)
+	p, err := reduction.Fit(ds.X, reduction.Options{
+		Scaling:          reduction.ScalingStudentize,
+		ComputeCoherence: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	top := p.TopK(reduction.ByCoherence, 3)
+	reduced := p.Transform(ds.X, top)
+	fmt.Printf("%d points reduced to %d coherent dims\n", reduced.Rows(), reduced.Cols())
+	// Output: 351 points reduced to 3 coherent dims
+}
+
+// The streaming accumulator refits without re-reading old points.
+func ExampleCovarianceAccumulator() {
+	ds := synthetic.UniformCube("stream", 200, 6, 1)
+	acc := reduction.NewCovarianceAccumulator(ds.Dims())
+	acc.AddMatrix(ds.X)
+	p, err := acc.FitPCA()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d components=%d\n", acc.N(), len(p.Eigenvalues))
+	// Output: n=200 components=6
+}

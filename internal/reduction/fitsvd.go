@@ -1,0 +1,169 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// FitSVD computes the same transform as Fit but via the singular value
+// decomposition of the normalized data matrix instead of eigendecomposing
+// the covariance matrix. Working on the data matrix directly avoids the
+// squared condition number of forming XᵀX, which matters when the leading
+// eigenvalues span many orders of magnitude. Eigenvalues are σᵢ²/n.
+//
+// The SVD path materializes only min(n, d) components; for n >= d this is
+// the full transform, for n < d the trailing (d − n) components have zero
+// variance anyway and are reconstructed as an arbitrary orthonormal
+// completion so the PCA remains a full rotation.
+func FitSVD(x *linalg.Dense, opts Options) (*PCA, error) {
+	n, d := x.Dims()
+	if n < 2 {
+		return nil, fmt.Errorf("reduction: FitSVD requires >= 2 points, got %d", n)
+	}
+	var work *linalg.Dense
+	p := &PCA{Scaling: opts.Scaling}
+	switch opts.Scaling {
+	case ScalingNone:
+		work, p.Mean = stats.Center(x)
+		p.Scale = make([]float64, d)
+		for j := range p.Scale {
+			p.Scale[j] = 1
+		}
+	case ScalingStudentize:
+		work, p.Mean, p.Scale = stats.Standardize(x, 1e-12)
+	default:
+		return nil, fmt.Errorf("reduction: unknown scaling %d", int(opts.Scaling))
+	}
+
+	sd, err := linalg.SVD(work)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: svd failed: %w", err)
+	}
+	r := len(sd.Values)
+	p.Eigenvalues = make([]float64, d)
+	for i := 0; i < r && i < d; i++ {
+		p.Eigenvalues[i] = sd.Values[i] * sd.Values[i] / float64(n)
+	}
+	if r >= d {
+		p.Components = sd.V
+	} else {
+		// Complete V's columns to a full orthonormal basis of R^d.
+		p.Components = completeBasis(sd.V, d)
+	}
+
+	if opts.ComputeCoherence {
+		ba := core.AnalyzeBasis(work, p.Components, false)
+		p.Coherence = ba.Coherences()
+		p.MeanFactor = make([]float64, len(ba.Reports))
+		for i, rep := range ba.Reports {
+			p.MeanFactor[i] = rep.MeanFactor
+		}
+	}
+	return p, nil
+}
+
+// completeBasis extends the orthonormal columns of v (d x r, r < d) to a
+// d x d orthonormal matrix, deterministically.
+func completeBasis(v *linalg.Dense, d int) *linalg.Dense {
+	r := v.Cols()
+	out := linalg.NewDense(d, d)
+	for j := 0; j < r; j++ {
+		out.SetCol(j, v.Col(j))
+	}
+	// Orthogonalize standard basis vectors against everything chosen so
+	// far, using a deterministic perturbation stream for degenerate cases.
+	rng := rand.New(rand.NewSource(1))
+	col := r
+	for e := 0; e < d && col < d; e++ {
+		cand := make([]float64, d)
+		cand[e] = 1
+		for pass := 0; pass < 2; pass++ {
+			for j := 0; j < col; j++ {
+				u := out.Col(j)
+				linalg.Axpy(-linalg.Dot(u, cand), u, cand)
+			}
+		}
+		if linalg.Norm2(cand) < 1e-8 {
+			continue // e_j already spanned; try the next axis
+		}
+		linalg.Normalize(cand)
+		out.SetCol(col, cand)
+		col++
+	}
+	// Extremely unlikely fallback: random vectors until the basis is full.
+	for col < d {
+		cand := make([]float64, d)
+		for i := range cand {
+			cand[i] = rng.NormFloat64()
+		}
+		for pass := 0; pass < 2; pass++ {
+			for j := 0; j < col; j++ {
+				u := out.Col(j)
+				linalg.Axpy(-linalg.Dot(u, cand), u, cand)
+			}
+		}
+		if linalg.Norm2(cand) < 1e-8 {
+			continue
+		}
+		linalg.Normalize(cand)
+		out.SetCol(col, cand)
+		col++
+	}
+	return out
+}
+
+// FitTopK computes only the k leading principal components with the Lanczos
+// partial eigensolver — the economical path when d is large and only an
+// aggressive reduction is wanted. The returned PCA holds exactly k
+// components; orderings and selection rules operate on those k, and
+// TotalVariance/EnergyFraction are relative to the captured k-component
+// variance rather than the full trace. Coherence is computed for the k
+// components when requested.
+func FitTopK(x *linalg.Dense, k int, opts Options, seed int64) (*PCA, error) {
+	n, d := x.Dims()
+	if n < 2 {
+		return nil, fmt.Errorf("reduction: FitTopK requires >= 2 points, got %d", n)
+	}
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("reduction: FitTopK k=%d out of [1,%d]", k, d)
+	}
+	var work *linalg.Dense
+	p := &PCA{Scaling: opts.Scaling}
+	switch opts.Scaling {
+	case ScalingNone:
+		work, p.Mean = stats.Center(x)
+		p.Scale = make([]float64, d)
+		for j := range p.Scale {
+			p.Scale[j] = 1
+		}
+	case ScalingStudentize:
+		work, p.Mean, p.Scale = stats.Standardize(x, 1e-12)
+	default:
+		return nil, fmt.Errorf("reduction: unknown scaling %d", int(opts.Scaling))
+	}
+	cov := stats.CovarianceMatrix(work)
+	vals, vecs, err := linalg.TopKEigen(cov, k, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("reduction: partial eigendecomposition: %w", err)
+	}
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	p.Eigenvalues = vals
+	p.Components = vecs
+	if opts.ComputeCoherence {
+		ba := core.AnalyzeBasis(work, vecs, false)
+		p.Coherence = ba.Coherences()
+		p.MeanFactor = make([]float64, len(ba.Reports))
+		for i, rep := range ba.Reports {
+			p.MeanFactor[i] = rep.MeanFactor
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,187 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/linalg"
+)
+
+func TestFitSVDMatchesFit(t *testing.T) {
+	ds := synthetic.IonosphereLike(4)
+	for _, sc := range []Scaling{ScalingNone, ScalingStudentize} {
+		eig, err := Fit(ds.X, Options{Scaling: sc, ComputeCoherence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svd, err := FitSVD(ds.X, Options{Scaling: sc, ComputeCoherence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !linalg.VecEqual(eig.Eigenvalues, svd.Eigenvalues, 1e-7) {
+			t.Fatalf("%v: eigenvalues diverge", sc)
+		}
+		// Components agree up to sign: check via point projections and
+		// coherence values (both sign-invariant).
+		if !linalg.VecEqual(eig.Coherence, svd.Coherence, 1e-7) {
+			t.Fatalf("%v: coherence diverges", sc)
+		}
+		pt := ds.X.Row(5)
+		a := eig.TransformPoint(pt, []int{0, 1, 2})
+		b := svd.TransformPoint(pt, []int{0, 1, 2})
+		for i := range a {
+			if math.Abs(math.Abs(a[i])-math.Abs(b[i])) > 1e-7 {
+				t.Fatalf("%v: projection %d diverges: %v vs %v", sc, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestFitSVDWideMatrix(t *testing.T) {
+	// n < d: the SVD path must complete the basis to a full rotation.
+	rng := rand.New(rand.NewSource(9))
+	x := linalg.NewDense(12, 30)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 30; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	p, err := FitSVD(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Components.Cols() != 30 || len(p.Eigenvalues) != 30 {
+		t.Fatalf("incomplete basis: %d cols, %d values", p.Components.Cols(), len(p.Eigenvalues))
+	}
+	// Full orthonormal rotation.
+	if !p.Components.T().Mul(p.Components).Equal(linalg.Identity(30), 1e-8) {
+		t.Fatalf("completed basis not orthonormal")
+	}
+	// At most n−1 nonzero eigenvalues; the completion carries none.
+	for i := 12; i < 30; i++ {
+		if p.Eigenvalues[i] > 1e-9 {
+			t.Fatalf("completed component %d has eigenvalue %v", i, p.Eigenvalues[i])
+		}
+	}
+	// Full-rank round trip still works.
+	all := make([]int, 30)
+	for i := range all {
+		all[i] = i
+	}
+	pt := x.Row(3)
+	back := p.InverseTransformPoint(p.TransformPoint(pt, all), all)
+	if !linalg.VecEqual(back, pt, 1e-8) {
+		t.Fatalf("wide-matrix round trip failed")
+	}
+}
+
+func TestFitSVDValidation(t *testing.T) {
+	if _, err := FitSVD(linalg.NewDense(1, 3), Options{}); err == nil {
+		t.Fatalf("single point accepted")
+	}
+	if _, err := FitSVD(linalg.NewDense(5, 3), Options{Scaling: Scaling(9)}); err == nil {
+		t.Fatalf("bogus scaling accepted")
+	}
+}
+
+func TestFitTopKMatchesFullPrefix(t *testing.T) {
+	ds := synthetic.ArrhythmiaLike(2)
+	full, err := Fit(ds.X, Options{Scaling: ScalingStudentize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := FitTopK(ds.X, 10, Options{Scaling: ScalingStudentize}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Eigenvalues) != 10 {
+		t.Fatalf("eigenvalue count %d", len(part.Eigenvalues))
+	}
+	if !linalg.VecEqual(part.Eigenvalues, full.Eigenvalues[:10], 1e-5) {
+		t.Fatalf("partial eigenvalues diverge:\n%v\n%v", part.Eigenvalues, full.Eigenvalues[:10])
+	}
+	// Projections agree up to sign.
+	pt := ds.X.Row(9)
+	a := part.TransformPoint(pt, []int{0, 1, 2})
+	b := full.TransformPoint(pt, []int{0, 1, 2})
+	for i := range a {
+		if math.Abs(math.Abs(a[i])-math.Abs(b[i])) > 1e-4*(1+math.Abs(b[i])) {
+			t.Fatalf("projection %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFitTopKWithCoherence(t *testing.T) {
+	ds := synthetic.IonosphereLike(3)
+	p, err := FitTopK(ds.X, 6, Options{Scaling: ScalingStudentize, ComputeCoherence: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Coherence) != 6 {
+		t.Fatalf("coherence count %d", len(p.Coherence))
+	}
+	// Coherence-ordered selection works over the partial basis.
+	order := p.Order(ByCoherence)
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	red := p.Transform(ds.X, p.TopK(ByCoherence, 3))
+	if red.Cols() != 3 {
+		t.Fatalf("reduced dims %d", red.Cols())
+	}
+}
+
+func TestFitTopKValidation(t *testing.T) {
+	x := linalg.NewDense(10, 4)
+	if _, err := FitTopK(x, 0, Options{}, 1); err == nil {
+		t.Fatalf("k=0 accepted")
+	}
+	if _, err := FitTopK(x, 5, Options{}, 1); err == nil {
+		t.Fatalf("k>d accepted")
+	}
+	if _, err := FitTopK(linalg.NewDense(1, 4), 2, Options{}, 1); err == nil {
+		t.Fatalf("single point accepted")
+	}
+	if _, err := FitTopK(x, 2, Options{Scaling: Scaling(9)}, 1); err == nil {
+		t.Fatalf("bogus scaling accepted")
+	}
+}
+
+func TestCompleteBasisWithSpannedAxes(t *testing.T) {
+	// A partial basis that already contains standard axes forces the
+	// completion to skip spanned candidates.
+	v := linalg.NewDense(4, 2)
+	v.Set(0, 0, 1) // e0
+	v.Set(1, 1, 1) // e1
+	out := completeBasis(v, 4)
+	if out.Cols() != 4 {
+		t.Fatalf("cols = %d", out.Cols())
+	}
+	if !out.T().Mul(out).Equal(linalg.Identity(4), 1e-10) {
+		t.Fatalf("completed basis not orthonormal")
+	}
+}
+
+func TestEnergyTargetZeroVarianceAndFullTail(t *testing.T) {
+	// All-zero eigenvalues: degenerate transform keeps one component.
+	p := &PCA{
+		Mean:        make([]float64, 3),
+		Eigenvalues: []float64{0, 0, 0},
+		Components:  linalg.Identity(3),
+	}
+	if got := p.EnergyTarget(0.5); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("zero-variance EnergyTarget = %v", got)
+	}
+	// Floating-point shortfall: requesting slightly more than the
+	// accumulated fraction returns everything.
+	p2 := &PCA{
+		Mean:        make([]float64, 2),
+		Eigenvalues: []float64{1, 1},
+		Components:  linalg.Identity(2),
+	}
+	if got := p2.EnergyTarget(1.0); len(got) != 2 {
+		t.Fatalf("full EnergyTarget = %v", got)
+	}
+}

@@ -1,0 +1,177 @@
+package reduction
+
+import (
+	"fmt"
+	"sort"
+)
+
+// An Ordering ranks the components of a fitted PCA from most to least
+// desirable; selection strategies take prefixes of an ordering.
+type Ordering int
+
+const (
+	// ByEigenvalue ranks components by descending eigenvalue — the
+	// classical "preserve the most variance" rule.
+	ByEigenvalue Ordering = iota
+	// ByCoherence ranks components by descending coherence probability
+	// P(D,e) — the paper's selection rule (§2): "Pick the vectors with the
+	// largest coherence probability."
+	ByCoherence
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case ByEigenvalue:
+		return "eigenvalue"
+	case ByCoherence:
+		return "coherence"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Order returns all component indices ranked by the given ordering. Ties are
+// broken by eigenvalue and then by index so results are deterministic.
+// ByCoherence requires the PCA to have been fitted with ComputeCoherence.
+func (p *PCA) Order(o Ordering) []int {
+	d := len(p.Eigenvalues)
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	switch o {
+	case ByEigenvalue:
+		// Components are already stored in descending-eigenvalue order.
+		return idx
+	case ByCoherence:
+		if p.Coherence == nil {
+			panic("reduction: ByCoherence ordering requires Fit with ComputeCoherence")
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			if p.Coherence[ia] != p.Coherence[ib] {
+				return p.Coherence[ia] > p.Coherence[ib]
+			}
+			return p.Eigenvalues[ia] > p.Eigenvalues[ib]
+		})
+		return idx
+	default:
+		panic(fmt.Sprintf("reduction: unknown ordering %d", int(o)))
+	}
+}
+
+// TopK returns the first k components of the given ordering.
+func (p *PCA) TopK(o Ordering, k int) []int {
+	d := len(p.Eigenvalues)
+	if k <= 0 || k > d {
+		panic(fmt.Sprintf("reduction: TopK k=%d out of range (0,%d]", k, d))
+	}
+	return p.Order(o)[:k]
+}
+
+// ThresholdEigenvalue returns the components whose eigenvalue is at least
+// frac times the largest eigenvalue, in descending-eigenvalue order. With
+// frac = 0.10 this is the paper's Table 1 "thresholding" baseline: "only
+// those eigenvalues which are less than [10]% of the largest eigenvalue are
+// discarded". At least one component is always returned.
+func (p *PCA) ThresholdEigenvalue(frac float64) []int {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("reduction: ThresholdEigenvalue frac=%v out of [0,1]", frac))
+	}
+	if len(p.Eigenvalues) == 0 {
+		return nil
+	}
+	cut := frac * p.Eigenvalues[0]
+	var keep []int
+	for i, v := range p.Eigenvalues {
+		if v >= cut {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		keep = []int{0}
+	}
+	return keep
+}
+
+// EnergyTarget returns the smallest prefix of the descending-eigenvalue
+// ordering that captures at least the given fraction of total variance —
+// the classical "retain x% of the energy" rule of [17].
+func (p *PCA) EnergyTarget(frac float64) []int {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("reduction: EnergyTarget frac=%v out of (0,1]", frac))
+	}
+	total := p.TotalVariance()
+	if total == 0 {
+		return []int{0}
+	}
+	acc := 0.0
+	for i, v := range p.Eigenvalues {
+		acc += v
+		if acc/total >= frac {
+			out := make([]int, i+1)
+			for j := range out {
+				out[j] = j
+			}
+			return out
+		}
+	}
+	out := make([]int, len(p.Eigenvalues))
+	for j := range out {
+		out[j] = j
+	}
+	return out
+}
+
+// CoherenceFloor returns the components whose coherence probability is at
+// least the given value, ranked by descending coherence. Requires coherence
+// to have been computed. At least one component is always returned (the most
+// coherent one).
+func (p *PCA) CoherenceFloor(min float64) []int {
+	if p.Coherence == nil {
+		panic("reduction: CoherenceFloor requires Fit with ComputeCoherence")
+	}
+	order := p.Order(ByCoherence)
+	var keep []int
+	for _, i := range order {
+		if p.Coherence[i] >= min {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		keep = order[:1]
+	}
+	return keep
+}
+
+// GapCutoff examines a descending value sequence and returns the length of
+// the prefix that ends just before the largest multiplicative gap. It is
+// the "examine the scatter plot and cut where the values separate from the
+// rest" heuristic the paper applies by eye to Figures 3, 6 and 9. minKeep
+// and maxKeep bound the returned prefix length.
+func GapCutoff(desc []float64, minKeep, maxKeep int) int {
+	n := len(desc)
+	if n == 0 {
+		panic("reduction: GapCutoff on empty sequence")
+	}
+	if minKeep < 1 {
+		minKeep = 1
+	}
+	if maxKeep > n {
+		maxKeep = n
+	}
+	if minKeep >= maxKeep {
+		return maxKeep
+	}
+	bestK, bestGap := maxKeep, 0.0
+	const eps = 1e-12
+	for k := minKeep; k < maxKeep; k++ {
+		gap := (desc[k-1] + eps) / (desc[k] + eps)
+		if gap > bestGap {
+			bestGap = gap
+			bestK = k
+		}
+	}
+	return bestK
+}

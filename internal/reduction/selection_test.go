@@ -1,0 +1,232 @@
+package reduction
+
+import (
+	"testing"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/linalg"
+)
+
+func fittedWithCoherence(t *testing.T) *PCA {
+	t.Helper()
+	ds := synthetic.IonosphereLike(5)
+	p, err := Fit(ds.X, Options{Scaling: ScalingStudentize, ComputeCoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func isPermutationPrefixFree(idx []int, d int) bool {
+	if len(idx) != d {
+		return false
+	}
+	seen := make([]bool, d)
+	for _, i := range idx {
+		if i < 0 || i >= d || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return true
+}
+
+func TestOrderByEigenvalue(t *testing.T) {
+	p := fittedWithCoherence(t)
+	order := p.Order(ByEigenvalue)
+	if !isPermutationPrefixFree(order, p.Dims()) {
+		t.Fatalf("not a permutation: %v", order)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("eigenvalue order should be identity (components stored descending), got %v", order)
+		}
+	}
+}
+
+func TestOrderByCoherence(t *testing.T) {
+	p := fittedWithCoherence(t)
+	order := p.Order(ByCoherence)
+	if !isPermutationPrefixFree(order, p.Dims()) {
+		t.Fatalf("not a permutation: %v", order)
+	}
+	for i := 1; i < len(order); i++ {
+		if p.Coherence[order[i]] > p.Coherence[order[i-1]]+1e-15 {
+			t.Fatalf("coherence order not descending at %d", i)
+		}
+	}
+}
+
+func TestOrderByCoherenceWithoutCoherencePanics(t *testing.T) {
+	ds := synthetic.UniformCube("u", 20, 3, 1)
+	p, err := Fit(ds.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	p.Order(ByCoherence)
+}
+
+func TestOrderingString(t *testing.T) {
+	if ByEigenvalue.String() != "eigenvalue" || ByCoherence.String() != "coherence" {
+		t.Fatalf("Ordering.String wrong")
+	}
+	if Ordering(7).String() == "" {
+		t.Fatalf("unknown ordering must render")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	p := fittedWithCoherence(t)
+	top3 := p.TopK(ByEigenvalue, 3)
+	if len(top3) != 3 || top3[0] != 0 || top3[2] != 2 {
+		t.Fatalf("TopK = %v", top3)
+	}
+	for _, k := range []int{0, -1, p.Dims() + 1} {
+		k := k
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TopK(%d) must panic", k)
+				}
+			}()
+			p.TopK(ByEigenvalue, k)
+		}()
+	}
+}
+
+func TestThresholdEigenvalue(t *testing.T) {
+	p := &PCA{
+		Mean:        make([]float64, 4),
+		Eigenvalues: []float64{10, 5, 0.9, 0.1},
+		Components:  linalg.Identity(4),
+	}
+	// Cut at 10% of 10 = 1.0: keeps 10 and 5, discards 0.9 and 0.1.
+	if got := p.ThresholdEigenvalue(0.10); len(got) != 2 {
+		t.Fatalf("10%% threshold kept %v", got)
+	}
+	// Cut at 0.5: keeps 10, 5, 0.9.
+	if got := p.ThresholdEigenvalue(0.05); len(got) != 3 {
+		t.Fatalf("5%% threshold kept %v", got)
+	}
+	if got := p.ThresholdEigenvalue(0.01); len(got) != 4 {
+		t.Fatalf("1%% threshold kept %v", got)
+	}
+	// Cut at 0.6*10 = 6: only the top component survives.
+	if got := p.ThresholdEigenvalue(0.60); len(got) != 1 {
+		t.Fatalf("60%% threshold kept %v", got)
+	}
+	// Cut at 0.5*10 = 5: the 5 is kept (>= comparison).
+	if got := p.ThresholdEigenvalue(0.50); len(got) != 2 {
+		t.Fatalf("50%% threshold kept %v", got)
+	}
+	// frac=1 keeps only ties with the max.
+	if got := p.ThresholdEigenvalue(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("100%% threshold kept %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad frac must panic")
+		}
+	}()
+	p.ThresholdEigenvalue(1.5)
+}
+
+func TestEnergyTarget(t *testing.T) {
+	p := &PCA{
+		Mean:        make([]float64, 4),
+		Eigenvalues: []float64{6, 2, 1, 1},
+		Components:  linalg.Identity(4),
+	}
+	if got := p.EnergyTarget(0.5); len(got) != 1 {
+		t.Fatalf("50%% energy = %v", got)
+	}
+	if got := p.EnergyTarget(0.8); len(got) != 2 {
+		t.Fatalf("80%% energy = %v", got)
+	}
+	if got := p.EnergyTarget(1.0); len(got) != 4 {
+		t.Fatalf("100%% energy = %v", got)
+	}
+	if got := p.EnergyFraction([]int{0, 1}); got != 0.8 {
+		t.Fatalf("EnergyFraction = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad frac must panic")
+		}
+	}()
+	p.EnergyTarget(0)
+}
+
+func TestCoherenceFloor(t *testing.T) {
+	p := &PCA{
+		Mean:        make([]float64, 4),
+		Eigenvalues: []float64{4, 3, 2, 1},
+		Components:  linalg.Identity(4),
+		Coherence:   []float64{0.2, 0.9, 0.95, 0.3},
+	}
+	got := p.CoherenceFloor(0.5)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("CoherenceFloor = %v", got)
+	}
+	// Nothing above the floor: the single most coherent survives.
+	if got := p.CoherenceFloor(0.99); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CoherenceFloor fallback = %v", got)
+	}
+}
+
+func TestGapCutoff(t *testing.T) {
+	// Largest multiplicative gap after position 3.
+	desc := []float64{100, 90, 80, 2, 1.5, 1}
+	if got := GapCutoff(desc, 1, len(desc)); got != 3 {
+		t.Fatalf("GapCutoff = %d, want 3", got)
+	}
+	// Bounds respected.
+	if got := GapCutoff(desc, 4, len(desc)); got < 4 {
+		t.Fatalf("minKeep violated: %d", got)
+	}
+	if got := GapCutoff(desc, 1, 2); got > 2 {
+		t.Fatalf("maxKeep violated: %d", got)
+	}
+	// Flat sequence: no distinguished gap, returns maxKeep.
+	flat := []float64{1, 1, 1, 1}
+	if got := GapCutoff(flat, 1, 4); got != 1 {
+		// All gaps are equal (ratio 1); the first index wins.
+		t.Fatalf("flat GapCutoff = %d", got)
+	}
+	// Zeros do not divide by zero.
+	withZeros := []float64{5, 0, 0}
+	if got := GapCutoff(withZeros, 1, 3); got != 1 {
+		t.Fatalf("zeros GapCutoff = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("empty must panic")
+		}
+	}()
+	GapCutoff(nil, 1, 1)
+}
+
+func TestThresholdCloseToFullDimensionality(t *testing.T) {
+	// The paper's Table 1 observation: on real-shaped data a small
+	// threshold keeps nearly all dimensions, while coherent concepts are
+	// far fewer. Our analogue: 1%-thresholding keeps many more components
+	// than the concept count.
+	ds := synthetic.MuskLike(2)
+	p, err := Fit(ds.X, Options{Scaling: ScalingStudentize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := p.ThresholdEigenvalue(0.01)
+	if len(kept) < ds.Dims()/2 {
+		t.Fatalf("1%%-threshold kept only %d of %d", len(kept), ds.Dims())
+	}
+	// ... while the concept structure is an order of magnitude smaller.
+	if aggressive := p.ThresholdEigenvalue(0.10); len(aggressive) >= len(kept)/2 {
+		t.Fatalf("10%%-threshold kept %d, not clearly more aggressive than 1%%'s %d", len(aggressive), len(kept))
+	}
+}

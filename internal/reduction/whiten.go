@@ -1,0 +1,46 @@
+package reduction
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// TransformWhitened projects every row of x onto the selected components and
+// scales each score to unit variance (dividing by √eigenvalue). Euclidean
+// distance in the whitened space is the Mahalanobis distance of the
+// retained subspace — the "automatic distance function correction" the
+// paper's introduction highlights: distances are measured in terms of the
+// independent concepts rather than the raw correlated attributes, so no
+// concept dominates by scale alone.
+//
+// Components with (numerically) zero eigenvalue carry no information and
+// cannot be whitened; selecting one is a programming error and panics.
+func (p *PCA) TransformWhitened(x *linalg.Dense, components []int) *linalg.Dense {
+	out := p.Transform(x, components)
+	for k, i := range components {
+		ev := p.Eigenvalues[i]
+		if ev <= 1e-12 {
+			panic(fmt.Sprintf("reduction: whitening component %d with eigenvalue %g", i, ev))
+		}
+		inv := 1 / math.Sqrt(ev)
+		for r := 0; r < out.Rows(); r++ {
+			out.RawRow(r)[k] *= inv
+		}
+	}
+	return out
+}
+
+// TransformPointWhitened is TransformWhitened for a single point.
+func (p *PCA) TransformPointWhitened(x []float64, components []int) []float64 {
+	out := p.TransformPoint(x, components)
+	for k, i := range components {
+		ev := p.Eigenvalues[i]
+		if ev <= 1e-12 {
+			panic(fmt.Sprintf("reduction: whitening component %d with eigenvalue %g", i, ev))
+		}
+		out[k] /= math.Sqrt(ev)
+	}
+	return out
+}

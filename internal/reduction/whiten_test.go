@@ -1,0 +1,93 @@
+package reduction
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+func TestTransformWhitenedUnitVariance(t *testing.T) {
+	ds := synthetic.IonosphereLike(6)
+	p, err := Fit(ds.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := p.TopK(ByEigenvalue, 5)
+	w := p.TransformWhitened(ds.X, comps)
+	vars := stats.ColumnVariances(w)
+	for j, v := range vars {
+		if math.Abs(v-1) > 1e-8 {
+			t.Fatalf("whitened score %d variance %v", j, v)
+		}
+	}
+	// Scores remain uncorrelated: whitened covariance is the identity.
+	cov := stats.CovarianceMatrix(w)
+	if !cov.Equal(linalg.Identity(5), 1e-8) {
+		t.Fatalf("whitened covariance not identity")
+	}
+}
+
+func TestTransformPointWhitenedMatchesMatrix(t *testing.T) {
+	ds := synthetic.UniformCube("u", 60, 6, 2)
+	p, err := Fit(ds.X, Options{ComputeCoherence: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := []int{0, 2}
+	m := p.TransformWhitened(ds.X, comps)
+	for i := 0; i < 10; i++ {
+		single := p.TransformPointWhitened(ds.X.Row(i), comps)
+		if !linalg.VecEqual(single, m.Row(i), 1e-12) {
+			t.Fatalf("row %d diverges", i)
+		}
+	}
+}
+
+func TestTransformWhitenedZeroEigenvaluePanics(t *testing.T) {
+	// A rank-1 data set: second component has zero eigenvalue.
+	x := linalg.NewDense(10, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, 2*float64(i))
+	}
+	p, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	p.TransformWhitened(x, []int{1})
+}
+
+func TestWhitenedDistanceIsMahalanobis(t *testing.T) {
+	// In the full whitened space, squared Euclidean distance equals the
+	// Mahalanobis distance (x−y)ᵀ C⁻¹ (x−y) of the centered data.
+	ds := synthetic.GaussianClusters("g", 300, 4, 2, 3, 1, 5)
+	p, err := Fit(ds.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := p.TopK(ByEigenvalue, 4)
+	w := p.TransformWhitened(ds.X, all)
+	cov := stats.CovarianceMatrix(ds.X)
+	inv, err := linalg.Inverse(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			diff := linalg.SubVec(ds.X.Row(i), ds.X.Row(j))
+			mahal := linalg.Dot(diff, inv.MulVec(diff))
+			white := linalg.Dist2(w.RawRow(i), w.RawRow(j))
+			if math.Abs(mahal-white*white) > 1e-6*(1+mahal) {
+				t.Fatalf("pair (%d,%d): mahalanobis %v vs whitened %v", i, j, mahal, white*white)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanSumVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Sum(xs); got != 40 {
+		t.Fatalf("Sum = %v, want 40", got)
+	}
+	if got := PopVariance(xs); got != 4 {
+		t.Fatalf("PopVariance = %v, want 4", got)
+	}
+	if got := PopStdDev(xs); got != 2 {
+		t.Fatalf("PopStdDev = %v, want 2", got)
+	}
+	// Sample variance = 32/7.
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Mean":        func() { Mean(nil) },
+		"PopVariance": func() { PopVariance(nil) },
+		"Variance":    func() { Variance([]float64{1}) },
+		"RMS":         func() { RMS(nil) },
+		"MinMax":      func() { MinMax(nil) },
+		"Quantile":    func() { Quantile(nil, 0.5) },
+		"QuantileOOR": func() { Quantile([]float64{1}, 1.5) },
+		"ZScoresFlat": func() { ZScores([]float64{3, 3, 3}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestRMS(t *testing.T) {
+	// RMS about zero, not about the mean.
+	if got := RMS([]float64{3, -4}); !almostEqual(got, math.Sqrt(12.5), 1e-15) {
+		t.Fatalf("RMS = %v", got)
+	}
+	if got := RMS([]float64{5}); got != 5 {
+		t.Fatalf("RMS single = %v", got)
+	}
+	// The key distinction exploited by the coherence model: a constant
+	// nonzero vector has zero variance but nonzero RMS.
+	xs := []float64{2, 2, 2}
+	if got := RMS(xs); got != 2 {
+		t.Fatalf("RMS constant = %v", got)
+	}
+	if got := PopVariance(xs); got != 0 {
+		t.Fatalf("PopVariance constant = %v", got)
+	}
+}
+
+func TestMinMaxMedianQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	min, max := MinMax(xs)
+	if min != 1 || max != 9 {
+		t.Fatalf("MinMax = %v,%v", min, max)
+	}
+	if got := Median(xs); got != 5 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+	// Quantile must not mutate input.
+	if xs[0] != 9 {
+		t.Fatalf("Quantile mutated its input")
+	}
+}
+
+func TestSkewnessKurtosis(t *testing.T) {
+	sym := []float64{-2, -1, 0, 1, 2}
+	if got := Skewness(sym); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("Skewness symmetric = %v", got)
+	}
+	right := []float64{1, 1, 1, 10}
+	if Skewness(right) <= 0 {
+		t.Fatalf("right-skewed data should have positive skewness")
+	}
+	if got := Skewness([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("constant skewness = %v", got)
+	}
+	if got := ExcessKurtosis([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("constant kurtosis = %v", got)
+	}
+	// Large normal sample: skewness ~ 0, excess kurtosis ~ 0.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	if got := Skewness(xs); math.Abs(got) > 0.05 {
+		t.Fatalf("normal sample skewness = %v", got)
+	}
+	if got := ExcessKurtosis(xs); math.Abs(got) > 0.1 {
+		t.Fatalf("normal sample kurtosis = %v", got)
+	}
+}
+
+func TestZScores(t *testing.T) {
+	zs := ZScores([]float64{1, 2, 3, 4, 5})
+	if !almostEqual(Mean(zs), 0, 1e-12) {
+		t.Fatalf("z-scores mean = %v", Mean(zs))
+	}
+	if !almostEqual(Variance(zs), 1, 1e-12) {
+		t.Fatalf("z-scores variance = %v", Variance(zs))
+	}
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		m.Push(xs[i])
+	}
+	if m.N() != len(xs) {
+		t.Fatalf("N = %d", m.N())
+	}
+	if !almostEqual(m.Mean(), Mean(xs), 1e-10) {
+		t.Fatalf("streaming mean %v vs %v", m.Mean(), Mean(xs))
+	}
+	if !almostEqual(m.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("streaming variance %v vs %v", m.Variance(), Variance(xs))
+	}
+	if !almostEqual(m.PopVariance(), PopVariance(xs), 1e-9) {
+		t.Fatalf("streaming popvariance %v vs %v", m.PopVariance(), PopVariance(xs))
+	}
+	min, max := MinMax(xs)
+	if m.Min() != min || m.Max() != max {
+		t.Fatalf("streaming min/max %v/%v vs %v/%v", m.Min(), m.Max(), min, max)
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Variance() != 0 || m.Mean() != 0 || m.StdDev() != 0 {
+		t.Fatalf("empty Moments should be all zero")
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	var whole, a, b Moments
+	for i, x := range xs {
+		whole.Push(x)
+		if i < 123 {
+			a.Push(x)
+		} else {
+			b.Push(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEqual(a.Mean(), whole.Mean(), 1e-10) {
+		t.Fatalf("merged mean %v vs %v", a.Mean(), whole.Mean())
+	}
+	if !almostEqual(a.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merged variance %v vs %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max mismatch")
+	}
+	// Merge into empty.
+	var empty Moments
+	empty.Merge(&whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Fatalf("merge into empty failed")
+	}
+	// Merge empty into populated is a no-op.
+	before := whole
+	var e2 Moments
+	whole.Merge(&e2)
+	if whole != before {
+		t.Fatalf("merging empty changed the accumulator")
+	}
+}
+
+func TestVarianceShiftInvarianceProperty(t *testing.T) {
+	// Var(x + c) == Var(x).
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = xs[i] + shift
+		}
+		return almostEqual(Variance(xs), Variance(ys), 1e-6*(1+math.Abs(shift)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0.5, 1, 3, 5, 7, 9, 9.9})
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// Bins: [0,2) [2,4) [4,6) [6,8) [8,10].
+	want := []int{2, 1, 1, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d count = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-100)
+	h.Add(100)
+	h.Add(1) // exactly max lands in last bin
+	if h.Counts[0] != 1 || h.Counts[3] != 2 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramBinCenterAndDensity(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("BinCenter(4) = %v", got)
+	}
+	if got := h.Density(0); got != 0 {
+		t.Fatalf("empty density = %v", got)
+	}
+	h.Add(1)
+	h.Add(1.5)
+	h.Add(9)
+	if got := h.Density(0); !almostEqual(got, 2.0/3.0, 1e-15) {
+		t.Fatalf("Density(0) = %v", got)
+	}
+}
+
+func TestHistogramInvalidConstruction(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":  func() { NewHistogram(0, 1, 0) },
+		"min >= max": func() { NewHistogram(1, 1, 3) },
+		"nan add":    func() { NewHistogram(0, 1, 2).Add(math.NaN()) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 3, 3)
+	h.AddAll([]float64{0.1, 1.1, 1.2, 1.3, 2.5})
+	if got := h.Mode(); got != 1.5 {
+		t.Fatalf("Mode = %v, want 1.5", got)
+	}
+}
+
+func TestFromData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h := FromData(xs, 21)
+	if h.Total() != len(xs) {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// A normal sample peaks near its mean (middle bins).
+	mode := h.Mode()
+	if math.Abs(mode) > 0.6 {
+		t.Fatalf("normal histogram mode = %v, expected near 0", mode)
+	}
+	// Degenerate constant data must not panic.
+	hc := FromData([]float64{4, 4, 4}, 3)
+	if hc.Total() != 3 {
+		t.Fatalf("constant-data histogram total = %d", hc.Total())
+	}
+}
