@@ -207,6 +207,19 @@ func Search(data *Matrix, query []float64, k int, m Metric, exclude int) []Neigh
 	return knn.Search(data, query, k, m, exclude)
 }
 
+// SearchSet returns the k nearest rows of data for every row of queries;
+// pass selfExclude when data and queries share storage.
+func SearchSet(data, queries *Matrix, k int, m Metric, selfExclude bool) [][]Neighbor {
+	return knn.SearchSet(data, queries, k, m, selfExclude)
+}
+
+// SearchSetParallel is SearchSet across a worker pool sized by
+// runtime.GOMAXPROCS — identical results, near-linear speedup on large
+// ground-truth workloads.
+func SearchSetParallel(data, queries *Matrix, k int, m Metric, selfExclude bool) [][]Neighbor {
+	return knn.SearchSetParallel(data, queries, k, m, selfExclude)
+}
+
 // RelativeContrast measures the Beyer-et-al. meaningfulness statistic
 // (Dmax−Dmin)/Dmin of a query workload.
 func RelativeContrast(data, queries *Matrix, m Metric) (knn.ContrastReport, error) {

@@ -5,6 +5,7 @@ import (
 	"repro/internal/dataset/synthetic"
 	"repro/internal/fractal"
 	"repro/internal/index"
+	"repro/internal/index/lsh"
 	"repro/internal/reduction"
 )
 
@@ -83,6 +84,36 @@ func BuildIGrid(data *Matrix, ranges int, p float64) *IGrid {
 func BuildIDistance(data *Matrix, partitions int, seed int64) Index {
 	return index.BuildIDistance(data, partitions, seed)
 }
+
+// ApproxIndex is an approximate Euclidean k-NN structure whose queries
+// trade recall for work via a probing-depth argument, reporting
+// BucketsProbed and CandidateSize in its stats.
+type ApproxIndex = index.ApproxIndex
+
+// LSHConfig configures BuildLSH: table count, hashes per table, slot width
+// (0 = estimated from the data) and the root seed all tables derive from.
+type LSHConfig = lsh.Config
+
+// LSHIndex is a multi-probe locality-sensitive hash index (p-stable random
+// projections; Lv et al., VLDB 2007). It implements ApproxIndex; its
+// KNNApproxSet answers batch workloads on a GOMAXPROCS-sized worker pool.
+type LSHIndex = lsh.Index
+
+// BuildLSH hashes the rows of data into cfg.Tables bucket maps, building
+// tables concurrently. Results are deterministic for a fixed cfg.Seed.
+func BuildLSH(data *Matrix, cfg LSHConfig) *LSHIndex { return lsh.Build(data, cfg) }
+
+// Recall is the fraction of the exact neighbor set an approximate answer
+// recovered — the recall@k of an ApproxIndex judged against an exact
+// index's ground truth.
+func Recall(approx, exact []Neighbor) float64 { return index.Recall(approx, exact) }
+
+// MeanRecall averages Recall over paired query workloads.
+func MeanRecall(approx, exact [][]Neighbor) float64 { return index.MeanRecall(approx, exact) }
+
+// ScanFraction is the fraction of stored vectors a query workload had to
+// examine, given the accumulated stats and the per-query point count.
+func ScanFraction(s IndexStats, total int) float64 { return index.ScanFraction(s, total) }
 
 // FractalEstimate is a correlation-dimension fit.
 type FractalEstimate = fractal.Estimate

@@ -170,6 +170,56 @@ func TestPublicContrastAndAccuracyHelpers(t *testing.T) {
 	}
 }
 
+func TestPublicLSHApproximateSearch(t *testing.T) {
+	ds, err := Generate(LatentFactorConfig{
+		Name: "lsh", N: 1200, Dims: 24, Classes: 3,
+		ConceptStrengths: []float64{5, 4, 3}, ClassSeparation: 2, NoiseStdDev: 0.5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildLSH(ds.X, LSHConfig{Tables: 8, Hashes: 6, Seed: 1})
+	var _ ApproxIndex = ix // the facade type satisfies the interface
+	if ix.Len() != 1200 || ix.Dims() != 24 {
+		t.Fatalf("Len/Dims = %d/%d", ix.Len(), ix.Dims())
+	}
+	q := ds.X.Row(7)
+	exact := Search(ds.X, q, 10, Euclidean{}, -1)
+	approx, stats := ix.KNNApprox(q, 10, 16)
+	if r := Recall(approx, exact); r < 0.5 {
+		t.Fatalf("recall = %v", r)
+	}
+	if stats.BucketsProbed != 8*16 {
+		t.Fatalf("BucketsProbed = %d", stats.BucketsProbed)
+	}
+	if stats.CandidateSize == 0 || stats.CandidateSize != stats.PointsScanned {
+		t.Fatalf("candidate accounting: %+v", stats)
+	}
+	if frac := ScanFraction(stats, ix.Len()); frac <= 0 || frac > 1 {
+		t.Fatalf("scan fraction = %v", frac)
+	}
+	// Batch and serial answers agree; parallel ground truth matches serial.
+	batch, _ := ix.KNNApproxSet(ds.X, 5, 4)
+	single, _ := ix.KNNApprox(ds.X.RawRow(3), 5, 4)
+	for i := range single {
+		if batch[3][i] != single[i] {
+			t.Fatalf("batch result differs at rank %d", i)
+		}
+	}
+	par := SearchSetParallel(ds.X, ds.X, 3, Euclidean{}, true)
+	ser := SearchSet(ds.X, ds.X, 3, Euclidean{}, true)
+	for i := range ser {
+		for j := range ser[i] {
+			if par[i][j] != ser[i][j] {
+				t.Fatalf("parallel search differs at query %d rank %d", i, j)
+			}
+		}
+	}
+	if mr := MeanRecall(par, ser); mr != 1 {
+		t.Fatalf("MeanRecall of identical workloads = %v", mr)
+	}
+}
+
 // GaussianClustersHelper builds a tiny clustered set through the synthetic
 // generator exposed in the facade's Generate path.
 func GaussianClustersHelper(t *testing.T) *Dataset {

@@ -157,6 +157,69 @@ func BenchmarkIndexPruning(b *testing.B) { // §1.1 pruning recovery
 	}
 }
 
+func BenchmarkLSHRecall(b *testing.B) { // recall-vs-work sweep headline
+	for i := 0; i < b.N; i++ {
+		r := experiments.LSHRecall(experiments.Config{})
+		best, _ := r.Best(0.2)
+		b.ReportMetric(best.Recall, "best-recall-under-20pct")
+		b.ReportMetric(best.ScanFraction, "best-scanfrac")
+		b.ReportMetric(r.Rows[len(r.Rows)/3-1].Recall, "raw-recall-max-probes")
+	}
+}
+
+// lshBenchData generates an n-point latent-factor set at dimensionality d,
+// the shapes the LSH index is benchmarked at: the aggressively reduced
+// regime (16), a mid reduction (64), and the raw Musk dimensionality (166).
+func lshBenchData(b *testing.B, n, d int) *Matrix {
+	b.Helper()
+	ds, err := Generate(LatentFactorConfig{
+		Name: "lsh-bench", N: n, Dims: d, Classes: 4,
+		ConceptStrengths: []float64{6, 4, 3, 2}, ClassSeparation: 1.5,
+		NoiseStdDev: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.X
+}
+
+func benchLSHBuild(b *testing.B, d int) {
+	b.Helper()
+	data := lshBenchData(b, 4000, d)
+	cfg := LSHConfig{Tables: 8, Hashes: 10, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := BuildLSH(data, cfg)
+		if ix.Len() != 4000 {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func benchLSHQuery(b *testing.B, d int) {
+	b.Helper()
+	data := lshBenchData(b, 4000, d)
+	ix := BuildLSH(data, LSHConfig{Tables: 8, Hashes: 10, Seed: 1})
+	queries := data.SliceRows([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, stats := ix.KNNApproxSet(queries, 10, 16)
+		if len(res) != queries.Rows() {
+			b.Fatal("bad query batch")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(stats.CandidateSize)/float64(queries.Rows()), "candidates/query")
+		}
+	}
+}
+
+func BenchmarkLSHBuildD16(b *testing.B)  { benchLSHBuild(b, 16) }
+func BenchmarkLSHBuildD64(b *testing.B)  { benchLSHBuild(b, 64) }
+func BenchmarkLSHBuildD166(b *testing.B) { benchLSHBuild(b, 166) }
+func BenchmarkLSHQueryD16(b *testing.B)  { benchLSHQuery(b, 16) }
+func BenchmarkLSHQueryD64(b *testing.B)  { benchLSHQuery(b, 64) }
+func BenchmarkLSHQueryD166(b *testing.B) { benchLSHQuery(b, 166) }
+
 func BenchmarkLocalReduction(b *testing.B) { // §3.1 extension
 	for i := 0; i < b.N; i++ {
 		r := experiments.LocalReduction(experiments.Config{})

@@ -1,13 +1,20 @@
-// Command drtool analyzes a labelled CSV data set with the coherence model
-// and (optionally) writes a reduced representation.
+// Command drtool analyzes a labelled CSV data set with the coherence model,
+// (optionally) writes a reduced representation, and (optionally) benchmarks
+// a similarity index — exact or approximate — on the reduced data.
 //
 // Usage:
 //
 //	drtool -in data.csv [-header] [-label N] [-scale] [-order eigenvalue|coherence]
 //	       [-k N | -threshold F | -energy F | -floor F] [-out reduced.csv] [-report]
+//	       [-index kdtree|vafile|rtree|idistance|lsh] [-neighbors K]
+//	       [-queries N] [-tables L] [-probes T]
 //
 // The input's label column (default: last) is the semantic class used by the
 // feature-stripped quality measurement; it is never part of the features.
+// With -index, the chosen structure is built over both the full and the
+// reduced representation and a query workload reports the scanned fraction;
+// the approximate lsh index additionally reports recall@K against the exact
+// neighbors, with -tables hash tables and -probes buckets probed per table.
 package main
 
 import (
@@ -19,38 +26,65 @@ import (
 	repro "repro"
 )
 
+// options carries every flag of the CLI.
+type options struct {
+	in        string
+	header    bool
+	labelCol  int
+	scale     bool
+	order     string
+	k         int
+	threshold float64
+	energy    float64
+	floor     float64
+	out       string
+	report    bool
+
+	index     string
+	neighbors int
+	queries   int
+	tables    int
+	probes    int
+}
+
 func main() {
-	in := flag.String("in", "", "input CSV path (required)")
-	header := flag.Bool("header", false, "input has a header row")
-	labelCol := flag.Int("label", -1, "label column index (-1 = last)")
-	scale := flag.Bool("scale", true, "studentize dimensions (correlation PCA)")
-	order := flag.String("order", "coherence", "component ordering: eigenvalue or coherence")
-	k := flag.Int("k", 0, "retain exactly k components (0 = use -threshold/-energy/-floor)")
-	threshold := flag.Float64("threshold", 0, "retain eigenvalues >= F * largest (0 = off)")
-	energy := flag.Float64("energy", 0, "retain smallest prefix with >= F of variance (0 = off)")
-	floor := flag.Float64("floor", 0, "retain components with coherence >= F (0 = off)")
-	out := flag.String("out", "", "write reduced CSV here")
-	report := flag.Bool("report", true, "print the per-component analysis")
+	var o options
+	flag.StringVar(&o.in, "in", "", "input CSV path (required)")
+	flag.BoolVar(&o.header, "header", false, "input has a header row")
+	flag.IntVar(&o.labelCol, "label", -1, "label column index (-1 = last)")
+	flag.BoolVar(&o.scale, "scale", true, "studentize dimensions (correlation PCA)")
+	flag.StringVar(&o.order, "order", "coherence", "component ordering: eigenvalue or coherence")
+	flag.IntVar(&o.k, "k", 0, "retain exactly k components (0 = use -threshold/-energy/-floor)")
+	flag.Float64Var(&o.threshold, "threshold", 0, "retain eigenvalues >= F * largest (0 = off)")
+	flag.Float64Var(&o.energy, "energy", 0, "retain smallest prefix with >= F of variance (0 = off)")
+	flag.Float64Var(&o.floor, "floor", 0, "retain components with coherence >= F (0 = off)")
+	flag.StringVar(&o.out, "out", "", "write reduced CSV here")
+	flag.BoolVar(&o.report, "report", true, "print the per-component analysis")
+	flag.StringVar(&o.index, "index", "", "benchmark an index on the reduced data: kdtree, vafile, rtree, idistance or lsh")
+	flag.IntVar(&o.neighbors, "neighbors", 10, "k-NN neighbor count for the index benchmark")
+	flag.IntVar(&o.queries, "queries", 25, "query count for the index benchmark")
+	flag.IntVar(&o.tables, "tables", 0, "lsh: hash tables (0 = default)")
+	flag.IntVar(&o.probes, "probes", 16, "lsh: buckets probed per table")
 	flag.Parse()
 
-	if *in == "" {
+	if o.in == "" {
 		fmt.Fprintln(os.Stderr, "drtool: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *header, *labelCol, *scale, *order, *k, *threshold, *energy, *floor, *out, *report); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "drtool: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, header bool, labelCol int, scale bool, order string, k int, threshold, energy, floor float64, out string, report bool) error {
-	f, err := os.Open(in)
+func run(o options) error {
+	f, err := os.Open(o.in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	ds, err := repro.ReadCSV(f, in, repro.CSVOptions{HasHeader: header, LabelColumn: labelCol})
+	ds, err := repro.ReadCSV(f, o.in, repro.CSVOptions{HasHeader: o.header, LabelColumn: o.labelCol})
 	if err != nil {
 		return err
 	}
@@ -58,7 +92,7 @@ func run(in string, header bool, labelCol int, scale bool, order string, k int, 
 	fmt.Printf("loaded %s\n", ds)
 
 	opts := repro.Options{ComputeCoherence: true}
-	if scale {
+	if o.scale {
 		opts.Scaling = repro.ScalingStudentize
 	}
 	p, err := repro.FitDataset(ds, opts)
@@ -67,24 +101,24 @@ func run(in string, header bool, labelCol int, scale bool, order string, k int, 
 	}
 
 	ordering := repro.ByCoherence
-	switch order {
+	switch o.order {
 	case "coherence":
 	case "eigenvalue":
 		ordering = repro.ByEigenvalue
 	default:
-		return fmt.Errorf("unknown -order %q", order)
+		return fmt.Errorf("unknown -order %q", o.order)
 	}
 
 	var components []int
 	switch {
-	case k > 0:
-		components = p.TopK(ordering, k)
-	case threshold > 0:
-		components = p.ThresholdEigenvalue(threshold)
-	case energy > 0:
-		components = p.EnergyTarget(energy)
-	case floor > 0:
-		components = p.CoherenceFloor(floor)
+	case o.k > 0:
+		components = p.TopK(ordering, o.k)
+	case o.threshold > 0:
+		components = p.ThresholdEigenvalue(o.threshold)
+	case o.energy > 0:
+		components = p.EnergyTarget(o.energy)
+	case o.floor > 0:
+		components = p.CoherenceFloor(o.floor)
 	default:
 		// The paper's scatter-gap heuristic on the chosen ordering.
 		vals := make([]float64, ds.Dims())
@@ -99,7 +133,7 @@ func run(in string, header bool, labelCol int, scale bool, order string, k int, 
 		components = p.Order(ordering)[:cut]
 	}
 
-	if report {
+	if o.report {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "component\teigenvalue\tcoherence\tselected")
 		selected := map[int]bool{}
@@ -123,8 +157,14 @@ func run(in string, header bool, labelCol int, scale bool, order string, k int, 
 		len(components), ds.Dims(), 100*p.EnergyFraction(components))
 	fmt.Printf("feature-stripped 3-NN accuracy: full %.1f%% -> reduced %.1f%%\n", 100*fullAcc, 100*redAcc)
 
-	if out != "" {
-		of, err := os.Create(out)
+	if o.index != "" {
+		if err := benchIndex(os.Stdout, o, ds, reduced); err != nil {
+			return err
+		}
+	}
+
+	if o.out != "" {
+		of, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -132,7 +172,77 @@ func run(in string, header bool, labelCol int, scale bool, order string, k int, 
 		if err := repro.WriteCSV(of, reduced); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("wrote %s\n", o.out)
 	}
+	return nil
+}
+
+// benchIndex builds the chosen structure over the full and reduced feature
+// matrices and reports per-query work (and recall, for the approximate
+// index) on a workload of the first -queries points.
+func benchIndex(w *os.File, o options, full, reduced *repro.Dataset) error {
+	switch o.index {
+	case "kdtree", "vafile", "rtree", "idistance", "lsh":
+	default:
+		return fmt.Errorf("unknown -index %q (kdtree, vafile, rtree, idistance or lsh)", o.index)
+	}
+	if o.neighbors < 1 {
+		return fmt.Errorf("-neighbors %d must be positive", o.neighbors)
+	}
+	nq := o.queries
+	if nq < 1 {
+		return fmt.Errorf("-queries %d must be positive", nq)
+	}
+	if nq > full.N() {
+		nq = full.N()
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "index benchmark: %s, %d-NN, %d queries\n", o.index, o.neighbors, nq)
+	fmt.Fprintln(tw, "representation\tdims\tscanned\trecall\tbuckets/query")
+	for _, rep := range []*repro.Dataset{full, reduced} {
+		if err := benchOneRep(tw, o, rep, nq); err != nil {
+			return err
+		}
+	}
+	tw.Flush()
+	return nil
+}
+
+func benchOneRep(tw *tabwriter.Writer, o options, ds *repro.Dataset, nq int) error {
+	queryRows := make([]int, nq)
+	for i := range queryRows {
+		queryRows[i] = i
+	}
+	queries := ds.X.SliceRows(queryRows)
+
+	var stats repro.IndexStats
+	recall := 1.0
+	switch o.index {
+	case "lsh":
+		ix := repro.BuildLSH(ds.X, repro.LSHConfig{Tables: o.tables, Seed: 1})
+		approx, s := ix.KNNApproxSet(queries, o.neighbors, o.probes)
+		stats = s
+		exact := repro.SearchSetParallel(ds.X, queries, o.neighbors, repro.Euclidean{}, false)
+		recall = repro.MeanRecall(approx, exact)
+	case "kdtree", "vafile", "rtree", "idistance":
+		var ix repro.Index
+		switch o.index {
+		case "kdtree":
+			ix = repro.BuildKDTree(ds.X, 0)
+		case "vafile":
+			ix = repro.BuildVAFile(ds.X, 6)
+		case "rtree":
+			ix = repro.BuildRTree(ds.X, 0)
+		case "idistance":
+			ix = repro.BuildIDistance(ds.X, 16, 1)
+		}
+		for i := 0; i < nq; i++ {
+			_, s := ix.KNN(queries.RawRow(i), o.neighbors)
+			stats.Add(s)
+		}
+	}
+	frac := repro.ScanFraction(stats, nq*ds.N())
+	buckets := float64(stats.BucketsProbed) / float64(nq)
+	fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%.3f\t%.0f\n", ds.Name, ds.Dims(), 100*frac, recall, buckets)
 	return nil
 }

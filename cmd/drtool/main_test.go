@@ -24,10 +24,21 @@ func writeTestCSV(t *testing.T) string {
 	return path
 }
 
+// baseOptions is the default CLI configuration the tests mutate.
+func baseOptions(in string) options {
+	return options{
+		in: in, labelCol: -1, scale: true, order: "coherence",
+		neighbors: 10, queries: 25, probes: 16,
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	in := writeTestCSV(t)
 	out := filepath.Join(t.TempDir(), "reduced.csv")
-	if err := run(in, false, -1, true, "coherence", 8, 0, 0, 0, out, false); err != nil {
+	o := baseOptions(in)
+	o.k = 8
+	o.out = out
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -59,7 +70,9 @@ func TestRunSelectionModes(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := run(in, false, -1, true, "coherence", tc.k, tc.threshold, tc.energy, tc.floor, "", false); err != nil {
+			o := baseOptions(in)
+			o.k, o.threshold, o.energy, o.floor = tc.k, tc.threshold, tc.energy, tc.floor
+			if err := run(o); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -68,21 +81,79 @@ func TestRunSelectionModes(t *testing.T) {
 
 func TestRunEigenvalueOrderAndReport(t *testing.T) {
 	in := writeTestCSV(t)
-	if err := run(in, false, -1, false, "eigenvalue", 3, 0, 0, 0, "", true); err != nil {
+	o := baseOptions(in)
+	o.scale = false
+	o.order = "eigenvalue"
+	o.k = 3
+	o.report = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIndexBenchmarks(t *testing.T) {
+	in := writeTestCSV(t)
+	for _, ix := range []string{"kdtree", "vafile", "rtree", "idistance", "lsh"} {
+		t.Run(ix, func(t *testing.T) {
+			o := baseOptions(in)
+			o.k = 6
+			o.index = ix
+			o.queries = 10
+			o.neighbors = 5
+			if err := run(o); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Query count beyond n is clamped, not an error.
+	o := baseOptions(in)
+	o.k = 6
+	o.index = "lsh"
+	o.queries = 100000
+	o.tables = 4
+	o.probes = 4
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), false, -1, true, "coherence", 0, 0, 0, 0, "", false); err == nil {
+	o := baseOptions(filepath.Join(t.TempDir(), "missing.csv"))
+	if err := run(o); err == nil {
 		t.Fatalf("missing file accepted")
 	}
 	in := writeTestCSV(t)
-	if err := run(in, false, -1, true, "bogus-order", 0, 0, 0, 0, "", false); err == nil {
+	o = baseOptions(in)
+	o.order = "bogus-order"
+	if err := run(o); err == nil {
 		t.Fatalf("bogus order accepted")
 	}
 	// Unwritable output path.
-	if err := run(in, false, -1, true, "coherence", 3, 0, 0, 0, filepath.Join(t.TempDir(), "no", "such", "dir.csv"), false); err == nil {
+	o = baseOptions(in)
+	o.k = 3
+	o.out = filepath.Join(t.TempDir(), "no", "such", "dir.csv")
+	if err := run(o); err == nil {
 		t.Fatalf("unwritable output accepted")
+	}
+	// Bad index configurations.
+	o = baseOptions(in)
+	o.k = 3
+	o.index = "btree"
+	if err := run(o); err == nil {
+		t.Fatalf("unknown index accepted")
+	}
+	o = baseOptions(in)
+	o.k = 3
+	o.index = "lsh"
+	o.neighbors = 0
+	if err := run(o); err == nil {
+		t.Fatalf("zero neighbors accepted")
+	}
+	o = baseOptions(in)
+	o.k = 3
+	o.index = "kdtree"
+	o.queries = 0
+	if err := run(o); err == nil {
+		t.Fatalf("zero queries accepted")
 	}
 }

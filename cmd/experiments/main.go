@@ -6,8 +6,8 @@
 //	experiments [-seed N] [-threshold F] [-only name]
 //
 // Section names for -only: table1, figure1, figure2, scatter, coherence,
-// quality, ordering, uniform, contrast, pruning, local, igrid, implicit,
-// ablations.
+// quality, ordering, uniform, contrast, pruning, recall, local, igrid,
+// implicit, ablations.
 package main
 
 import (
@@ -74,6 +74,7 @@ func main() {
 	run("uniform", func() { experiments.UniformCoherence(cfg).Format(out) })
 	run("contrast", func() { experiments.ContrastSweep(cfg).Format(out) })
 	run("pruning", func() { experiments.IndexPruning(cfg).Format(out) })
+	run("recall", func() { experiments.LSHRecall(cfg).Format(out) })
 	run("local", func() { experiments.LocalReduction(cfg).Format(out) })
 	run("igrid", func() { experiments.IGridComparison(cfg).Format(out) })
 	run("implicit", func() { experiments.ImplicitDimensionality(cfg).Format(out) })

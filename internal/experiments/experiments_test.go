@@ -342,6 +342,77 @@ func TestIndexPruningRecoversAfterReduction(t *testing.T) {
 	}
 }
 
+func TestLSHRecallTradeoff(t *testing.T) {
+	r := LSHRecall(Config{})
+	if r.N != 6598 || r.K != 10 {
+		t.Fatalf("unexpected scale: n=%d k=%d", r.N, r.K)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The subsystem's acceptance bar: some (tables, probes) setting reaches
+	// recall >= 0.9 at k=10 while refining under 20% of the database.
+	best, ok := r.Best(0.2)
+	if !ok || best.Recall < 0.9 {
+		t.Fatalf("no setting reached recall >= 0.9 under 20%% scanned (best %+v)", best)
+	}
+	byRep := map[string][]LSHRecallRow{}
+	for _, row := range r.Rows {
+		byRep[row.Representation] = append(byRep[row.Representation], row)
+		if row.Recall < 0 || row.Recall > 1 {
+			t.Errorf("recall out of range: %+v", row)
+		}
+		if row.BucketsProbed != float64(row.Tables*row.Probes) {
+			t.Errorf("%s probes=%d: buckets/query %.0f != tables*probes %d",
+				row.Representation, row.Probes, row.BucketsProbed, row.Tables*row.Probes)
+		}
+	}
+	if len(byRep) != 3 {
+		t.Fatalf("representations = %d, want raw/pca/coherence", len(byRep))
+	}
+	for rep, rows := range byRep {
+		// More probes must never cost recall (the candidate set only grows).
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Recall < rows[i-1].Recall {
+				t.Errorf("%s: recall fell from %.3f to %.3f as probes rose %d -> %d",
+					rep, rows[i-1].Recall, rows[i].Recall, rows[i-1].Probes, rows[i].Probes)
+			}
+			if rows[i].ScanFraction < rows[i-1].ScanFraction {
+				t.Errorf("%s: scan fraction fell as probes rose", rep)
+			}
+		}
+	}
+	// The paper's motivation, quantified: at the deepest probing setting the
+	// reduced representations reach higher recall at a small fraction of the
+	// raw representation's scanned work.
+	raw := byRep["raw (166 dims)"]
+	pca := byRep["pca (top 16)"]
+	rawLast, pcaLast := raw[len(raw)-1], pca[len(pca)-1]
+	if pcaLast.Recall < rawLast.Recall {
+		t.Errorf("pca recall %.3f below raw %.3f at max probes", pcaLast.Recall, rawLast.Recall)
+	}
+	if pcaLast.ScanFraction > rawLast.ScanFraction/2 {
+		t.Errorf("pca scan fraction %.3f not well below raw %.3f", pcaLast.ScanFraction, rawLast.ScanFraction)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "recall@10") {
+		t.Fatalf("Format incomplete:\n%s", buf.String())
+	}
+}
+
+func TestLSHRecallDeterministic(t *testing.T) {
+	// The whole sweep — parallel LSH builds, parallel batch queries and the
+	// parallel ground truth included — must be byte-identical across runs
+	// for a fixed seed.
+	var a, b bytes.Buffer
+	LSHRecall(Config{Seed: 3}).Format(&a)
+	LSHRecall(Config{Seed: 3}).Format(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("recall sweep not byte-identical across runs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
 func TestSelectionAblation(t *testing.T) {
 	r := SelectionAblation(Config{})
 	if len(r.Rows) != 8 {

@@ -18,12 +18,20 @@ type Stats struct {
 	// PointsScanned counts full data vectors whose exact distance was
 	// computed.
 	PointsScanned int
+	// BucketsProbed counts hash buckets looked up across all tables.
+	// Zero for exact indexes; for LSH it is tables x probes.
+	BucketsProbed int
+	// CandidateSize counts the unique candidates an approximate query
+	// refined with exact distances. Zero for exact indexes.
+	CandidateSize int
 }
 
 // Add accumulates another query's stats.
 func (s *Stats) Add(o Stats) {
 	s.NodesVisited += o.NodesVisited
 	s.PointsScanned += o.PointsScanned
+	s.BucketsProbed += o.BucketsProbed
+	s.CandidateSize += o.CandidateSize
 }
 
 // Index is an exact Euclidean k-nearest-neighbor structure over a fixed

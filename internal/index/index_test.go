@@ -274,10 +274,21 @@ func TestScanFraction(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{NodesVisited: 1, PointsScanned: 2}
-	a.Add(Stats{NodesVisited: 3, PointsScanned: 4})
-	if a.NodesVisited != 4 || a.PointsScanned != 6 {
+	a := Stats{NodesVisited: 1, PointsScanned: 2, BucketsProbed: 3, CandidateSize: 4}
+	a.Add(Stats{NodesVisited: 3, PointsScanned: 4, BucketsProbed: 5, CandidateSize: 6})
+	if a.NodesVisited != 4 || a.PointsScanned != 6 || a.BucketsProbed != 8 || a.CandidateSize != 10 {
 		t.Fatalf("Stats.Add = %+v", a)
+	}
+}
+
+func TestExactIndexesLeaveApproxFieldsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := randPoints(rng, 80, 4)
+	for _, ix := range []Index{BuildKDTree(data, 4), BuildVAFile(data, 5), BuildRTree(data, 6)} {
+		_, st := ix.KNN(data.Row(1), 3)
+		if st.BucketsProbed != 0 || st.CandidateSize != 0 {
+			t.Fatalf("exact index reported approx stats: %+v", st)
+		}
 	}
 }
 

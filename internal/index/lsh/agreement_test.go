@@ -1,0 +1,51 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/knn"
+)
+
+// TestCrossIndexAgreementFixture pins the whole index layer to one
+// deterministic fixture: every exact structure must return the identical
+// k-NN set for every query, and the LSH index with tables and probes maxed
+// out must recover that set completely (recall 1.0).
+func TestCrossIndexAgreementFixture(t *testing.T) {
+	data, queries := holdOut(clusteredPoints(1234, 385, 8, 6), 25)
+	const k = 5
+
+	exactBuilders := map[string]index.Index{
+		"kdtree":    index.BuildKDTree(data, 4),
+		"vafile":    index.BuildVAFile(data, 5),
+		"rtree":     index.BuildRTree(data, 8),
+		"idistance": index.BuildIDistance(data, 6, 1),
+		"linear":    index.NewLinearScan(data),
+	}
+	lshIdx := Build(data, Config{Tables: 12, Hashes: 4, Seed: 77})
+	probes := lshIdx.MaxProbes()
+
+	var recallSum float64
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.RawRow(qi)
+		want := knn.Search(data, q, k, knn.Euclidean{}, -1)
+		for name, ix := range exactBuilders {
+			got, _ := ix.KNN(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: %d results, want %d", name, qi, len(got), len(want))
+			}
+			for r := range got {
+				if got[r].Index != want[r].Index || math.Abs(got[r].Dist-want[r].Dist) > 1e-9 {
+					t.Fatalf("%s query %d rank %d: got (%d, %v), want (%d, %v)",
+						name, qi, r, got[r].Index, got[r].Dist, want[r].Index, want[r].Dist)
+				}
+			}
+		}
+		approx, _ := lshIdx.KNNApprox(q, k, probes)
+		recallSum += index.Recall(approx, want)
+	}
+	if recall := recallSum / float64(queries.Rows()); recall != 1.0 {
+		t.Fatalf("maxed-out LSH recall = %v, want 1.0", recall)
+	}
+}

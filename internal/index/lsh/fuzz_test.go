@@ -1,0 +1,48 @@
+package lsh
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBucketKey drives the bucket-key codec from both directions: any hash
+// vector must encode and decode back to itself, and any byte string either
+// fails to decode or decodes to a vector whose canonical encoding is the
+// original bytes. Neither direction may panic.
+func FuzzBucketKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x81, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("hello bucket"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: bytes as hash values.
+		hs := make([]int32, 0, len(data)/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			hs = append(hs, int32(binary.LittleEndian.Uint32(data[i:])))
+		}
+		key := EncodeKey(hs)
+		back, err := DecodeKey(key)
+		if err != nil {
+			t.Fatalf("decode of encoded %v failed: %v", hs, err)
+		}
+		if len(back) != len(hs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(hs), len(back))
+		}
+		for i := range hs {
+			if back[i] != hs[i] {
+				t.Fatalf("round trip changed value %d: %d -> %d", i, hs[i], back[i])
+			}
+		}
+
+		// Direction 2: bytes as a key. A successful decode must be
+		// canonical — re-encoding reproduces the input bytes exactly.
+		if vals, err := DecodeKey(string(data)); err == nil {
+			if re := EncodeKey(vals); re != string(data) {
+				t.Fatalf("non-canonical key %q decoded to %v (re-encodes to %q)", data, vals, re)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package lsh
+
+import (
+	"errors"
+)
+
+// Bucket keys are a table's m hash values packed into a compact byte string
+// (zigzag + varint per value), so buckets live in an ordinary Go map and the
+// encoding is byte-identical across runs for the same hashes.
+
+// EncodeKey packs a hash vector into a string bucket key.
+func EncodeKey(hs []int32) string {
+	buf := make([]byte, 0, len(hs)*2)
+	for _, h := range hs {
+		u := zigzag(h)
+		for u >= 0x80 {
+			buf = append(buf, byte(u)|0x80)
+			u >>= 7
+		}
+		buf = append(buf, byte(u))
+	}
+	return string(buf)
+}
+
+// DecodeKey reverses EncodeKey. It errors (never panics) on truncated or
+// over-long input.
+func DecodeKey(key string) ([]int32, error) {
+	var out []int32
+	var u uint32
+	var shift uint
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if shift >= 32 || (shift == 28 && b > 0x0F) {
+			return nil, errors.New("lsh: bucket key varint overflows int32")
+		}
+		u |= uint32(b&0x7F) << shift
+		if b&0x80 != 0 {
+			shift += 7
+			continue
+		}
+		// Reject non-canonical zero continuation bytes ("0x80 0x00"): they
+		// decode to the same value as the shorter form, which would break
+		// the encode/decode round trip.
+		if b == 0 && shift > 0 {
+			return nil, errors.New("lsh: non-canonical bucket key varint")
+		}
+		out = append(out, unzigzag(u))
+		u, shift = 0, 0
+	}
+	if shift != 0 {
+		return nil, errors.New("lsh: truncated bucket key varint")
+	}
+	return out, nil
+}
+
+// zigzag maps signed values to unsigned so small magnitudes of either sign
+// encode in few bytes.
+func zigzag(v int32) uint32 { return uint32((v << 1) ^ (v >> 31)) }
+
+func unzigzag(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }

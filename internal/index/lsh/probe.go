@@ -1,0 +1,149 @@
+package lsh
+
+import (
+	"container/heap"
+)
+
+// Query-directed multi-probe sequences (Lv et al., VLDB 2007, §4). For a
+// query whose j-th hash lands at fractional position frac[j] inside its home
+// slot, perturbing hash j by δ ∈ {-1,+1} moves the probe into a neighboring
+// slot whose boundary is x_j(δ) away:
+//
+//	x_j(-1) = frac[j]        (distance back to the lower boundary)
+//	x_j(+1) = 1 - frac[j]    (distance forward to the upper boundary)
+//
+// The expected squared distance of a perturbation set is the sum of the
+// squared x of its members, so the best probing order enumerates subsets of
+// the 2m single-coordinate perturbations in increasing score, skipping sets
+// that perturb the same coordinate twice. The enumeration is the classic
+// min-heap over {shift, expand} successors of position sets into the
+// score-sorted perturbation list, which yields sets in exactly
+// nondecreasing-score order without materializing all 3^m - 1 of them.
+
+// perturbation is one single-coordinate move, scored for the current query.
+type perturbation struct {
+	hash  int  // which of the m hashes to move
+	delta int8 // -1 or +1
+	score float64
+}
+
+// candSet is a set of positions (ascending) into the score-sorted
+// perturbation list, with its total score.
+type candSet struct {
+	score float64
+	pos   []int
+}
+
+// candHeap orders candidate sets by score, breaking exact ties by the
+// lexicographic order of their position sets so probing is deterministic
+// even on tie-heavy fixtures.
+type candHeap []candSet
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return lexLess(h[i].pos, h[j].pos)
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candSet)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// probeSequence returns up to count perturbation vectors (δ ∈ {-1,0,+1}^m,
+// never all-zero) in increasing expected-distance order for the given
+// fractional offsets. count <= 0 returns nil.
+func probeSequence(frac []float64, count int) [][]int8 {
+	m := len(frac)
+	if count <= 0 || m == 0 {
+		return nil
+	}
+	perturbs := make([]perturbation, 0, 2*m)
+	for j, f := range frac {
+		perturbs = append(perturbs,
+			perturbation{hash: j, delta: -1, score: f * f},
+			perturbation{hash: j, delta: +1, score: (1 - f) * (1 - f)},
+		)
+	}
+	// Stable score sort with (hash, delta) tie-break for determinism.
+	sortPerturbations(perturbs)
+
+	h := candHeap{{score: perturbs[0].score, pos: []int{0}}}
+	out := make([][]int8, 0, count)
+	for len(h) > 0 && len(out) < count {
+		c := heap.Pop(&h).(candSet)
+		last := c.pos[len(c.pos)-1]
+		if last+1 < len(perturbs) {
+			// Shift: replace the maximum position with its successor.
+			shifted := make([]int, len(c.pos))
+			copy(shifted, c.pos)
+			shifted[len(shifted)-1] = last + 1
+			heap.Push(&h, candSet{
+				score: c.score - perturbs[last].score + perturbs[last+1].score,
+				pos:   shifted,
+			})
+			// Expand: additionally include the successor.
+			expanded := make([]int, len(c.pos)+1)
+			copy(expanded, c.pos)
+			expanded[len(expanded)-1] = last + 1
+			heap.Push(&h, candSet{
+				score: c.score + perturbs[last+1].score,
+				pos:   expanded,
+			})
+		}
+		if deltas, ok := applySet(perturbs, c.pos, m); ok {
+			out = append(out, deltas)
+		}
+	}
+	return out
+}
+
+// applySet converts a position set into a per-hash delta vector, rejecting
+// sets that perturb the same hash twice (probing both neighbors of one slot
+// in a single perturbed bucket is contradictory).
+func applySet(perturbs []perturbation, pos []int, m int) ([]int8, bool) {
+	deltas := make([]int8, m)
+	for _, p := range pos {
+		pt := perturbs[p]
+		if deltas[pt.hash] != 0 {
+			return nil, false
+		}
+		deltas[pt.hash] = pt.delta
+	}
+	return deltas, true
+}
+
+func sortPerturbations(ps []perturbation) {
+	// Insertion sort: 2m is small (m rarely above 16) and avoids pulling in
+	// sort.Slice closures on the query hot path.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && perturbLess(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func perturbLess(a, b perturbation) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.delta < b.delta
+}

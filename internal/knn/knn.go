@@ -4,7 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -125,6 +127,44 @@ func SearchSet(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [
 		}
 		out[i] = Search(data, queries.RawRow(i), k, m, ex)
 	}
+	return out
+}
+
+// SearchSetParallel is SearchSet with the queries distributed across a
+// worker pool of up to runtime.GOMAXPROCS(0) goroutines. Queries are
+// independent, so the result is exactly SearchSet's; use it for the
+// ground-truth workloads of experiment sweeps, which are embarrassingly
+// parallel and dominated by distance computations.
+func SearchSetParallel(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [][]Neighbor {
+	nq := queries.Rows()
+	out := make([][]Neighbor, nq)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nq {
+		workers = nq
+	}
+	if workers <= 1 {
+		return SearchSet(data, queries, k, m, selfExclude)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ex := -1
+				if selfExclude {
+					ex = i
+				}
+				out[i] = Search(data, queries.RawRow(i), k, m, ex)
+			}
+		}()
+	}
+	for i := 0; i < nq; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 	return out
 }
 
