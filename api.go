@@ -191,6 +191,8 @@ type Neighbor = knn.Neighbor
 type (
 	// Euclidean is the L2 metric.
 	Euclidean = knn.Euclidean
+	// SquaredEuclidean is L2² — same rankings as L2 without the square root.
+	SquaredEuclidean = knn.SquaredEuclidean
 	// Manhattan is the L1 metric.
 	Manhattan = knn.Manhattan
 	// Chebyshev is the L∞ metric.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fractal"
 	"repro/internal/index"
 	"repro/internal/index/lsh"
+	"repro/internal/knn"
 	"repro/internal/reduction"
 )
 
@@ -14,6 +15,23 @@ import (
 // high global implicit dimensionality (§3.1), streaming covariance
 // maintenance for dynamic databases (reference [17]), and the economical
 // partial-decomposition fitting paths.
+
+// SearchSetBatch is SearchSet routed through the blocked batch-distance
+// engine: for Euclidean and SquaredEuclidean metrics, squared distances come
+// from cached row norms and tiled matrix products instead of per-pair scans,
+// and results match SearchSet exactly (other metrics fall back to
+// SearchSetParallel). Use it for ground-truth workloads — exact k-NN of a
+// query set against a large stored set.
+func SearchSetBatch(data, queries *Matrix, k int, m Metric, selfExclude bool) [][]Neighbor {
+	return knn.SearchSetBatch(data, queries, k, m, selfExclude)
+}
+
+// PairwiseSq returns the queries.Rows() x data.Rows() matrix of squared
+// Euclidean distances, computed through the same blocked kernels. It
+// materializes the full matrix; for k-NN prefer SearchSetBatch, which tiles.
+func PairwiseSq(data, queries *Matrix) *Matrix {
+	return knn.PairwiseSq(data, queries)
+}
 
 // KMeansResult is a k-means clustering of a point matrix.
 type KMeansResult = cluster.KMeansResult

@@ -233,3 +233,27 @@ func GaussianClustersHelper(t *testing.T) *Dataset {
 	}
 	return ds
 }
+
+func TestPublicBatchDistanceEngine(t *testing.T) {
+	ds := GaussianClustersHelper(t)
+	queries := ds.X.SliceRows([]int{0, 1, 2, 3, 4, 5, 6})
+	batch := SearchSetBatch(ds.X, queries, 4, Euclidean{}, false)
+	exact := SearchSet(ds.X, queries, 4, Euclidean{}, false)
+	for i := range exact {
+		for j := range exact[i] {
+			if batch[i][j] != exact[i][j] {
+				t.Fatalf("SearchSetBatch differs at query %d rank %d: %v vs %v",
+					i, j, batch[i][j], exact[i][j])
+			}
+		}
+	}
+	d2 := PairwiseSq(ds.X, queries)
+	if r, c := d2.Dims(); r != 7 || c != 120 {
+		t.Fatalf("PairwiseSq dims %dx%d", r, c)
+	}
+	sq := SquaredEuclidean{}
+	want := sq.Distance(queries.RawRow(2), ds.X.RawRow(9))
+	if got := d2.At(2, 9); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("PairwiseSq[2][9] = %v, want %v", got, want)
+	}
+}

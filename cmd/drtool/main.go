@@ -222,7 +222,7 @@ func benchOneRep(tw *tabwriter.Writer, o options, ds *repro.Dataset, nq int) err
 		ix := repro.BuildLSH(ds.X, repro.LSHConfig{Tables: o.tables, Seed: 1})
 		approx, s := ix.KNNApproxSet(queries, o.neighbors, o.probes)
 		stats = s
-		exact := repro.SearchSetParallel(ds.X, queries, o.neighbors, repro.Euclidean{}, false)
+		exact := repro.SearchSetBatch(ds.X, queries, o.neighbors, repro.Euclidean{}, false)
 		recall = repro.MeanRecall(approx, exact)
 	case "kdtree", "vafile", "rtree", "idistance":
 		var ix repro.Index

@@ -85,6 +85,13 @@ func kmeansOnce(x *linalg.Dense, k, maxIter int, seed int64) *KMeansResult {
 	sizes := make([]int, k)
 	inertia := 0.0
 	iters := 0
+	// The assignment step is the per-iteration hot spot: points × centroids
+	// squared distances. Run it as one blocked GEMM per iteration through the
+	// norm-cache identity d²(x,c) = ‖x‖² + ‖c‖² − 2⟨x,c⟩. Point norms are
+	// loop-invariant and the per-point argmin only needs ‖c‖² − 2⟨x,c⟩; ‖x‖²
+	// re-enters when accumulating inertia (clamped at 0 against rounding).
+	xn := linalg.RowNormsSq(x)
+	gram := linalg.NewDense(n, k)
 	for iter := 0; iter < maxIter; iter++ {
 		iters = iter + 1
 		changed := false
@@ -92,12 +99,14 @@ func kmeansOnce(x *linalg.Dense, k, maxIter int, seed int64) *KMeansResult {
 		for c := range sizes {
 			sizes[c] = 0
 		}
+		cn := linalg.RowNormsSq(centroids)
+		linalg.MulTInto(gram, x, centroids)
 		for i := 0; i < n; i++ {
-			row := x.RawRow(i)
-			bestC, bestD := 0, math.Inf(1)
+			grow := gram.RawRow(i)
+			bestC, bestS := 0, math.Inf(1)
 			for c := 0; c < k; c++ {
-				if dd := sqDist(row, centroids.RawRow(c)); dd < bestD {
-					bestC, bestD = c, dd
+				if s := cn[c] - 2*grow[c]; s < bestS {
+					bestC, bestS = c, s
 				}
 			}
 			if assign[i] != bestC {
@@ -105,7 +114,9 @@ func kmeansOnce(x *linalg.Dense, k, maxIter int, seed int64) *KMeansResult {
 				changed = true
 			}
 			sizes[bestC]++
-			inertia += bestD
+			if d2 := xn[i] + bestS; d2 > 0 {
+				inertia += d2
+			}
 		}
 		if !changed {
 			break

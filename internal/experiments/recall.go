@@ -97,7 +97,7 @@ func LSHRecall(cfg Config) LSHRecallResult {
 	for _, rep := range reps {
 		data := rep.x.SliceRows(dataRows)
 		queries := rep.x.SliceRows(queryRows)
-		exact := knn.SearchSetParallel(data, queries, lshRecallK, knn.Euclidean{}, false)
+		exact := knn.SearchSetBatch(data, queries, lshRecallK, knn.Euclidean{}, false)
 		const tables, hashes = 12, 12
 		ix := lsh.Build(data, lsh.Config{Tables: tables, Hashes: hashes, Seed: c.Seed})
 		for _, probes := range []int{1, 8, 32, 128} {

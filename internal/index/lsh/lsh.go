@@ -66,6 +66,7 @@ func (c Config) withDefaults() Config {
 // index.ApproxIndex.
 type Index struct {
 	data   *linalg.Dense
+	norms  []float64 // squared L2 norm of every data row, cached at Build
 	tables []table
 	hashes int
 	width  float64
@@ -102,6 +103,7 @@ func Build(data *linalg.Dense, cfg Config) *Index {
 	}
 	ix := &Index{
 		data:   data,
+		norms:  linalg.RowNormsSq(data),
 		tables: make([]table, c.Tables),
 		hashes: c.Hashes,
 		width:  width,
@@ -132,7 +134,7 @@ func buildTable(data *linalg.Dense, m int, width float64, seed int64) table {
 	for i := 0; i < n; i++ {
 		row := data.RawRow(i)
 		for j := 0; j < m; j++ {
-			hs[j] = slot(dot(tb.proj[j*d:(j+1)*d], row), tb.off[j], width)
+			hs[j] = slot(linalg.Dot(tb.proj[j*d:(j+1)*d], row), tb.off[j], width)
 		}
 		key := EncodeKey(hs)
 		tb.buckets[key] = append(tb.buckets[key], int32(i))
@@ -143,14 +145,6 @@ func buildTable(data *linalg.Dense, m int, width float64, seed int64) table {
 // slot quantizes a projection to its slot number.
 func slot(p, off, width float64) int32 {
 	return int32(math.Floor((p + off) / width))
-}
-
-func dot(a, b []float64) float64 {
-	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
 }
 
 // deriveSeed expands the root seed into independent per-table seeds with a
@@ -248,6 +242,11 @@ func (ix *Index) MaxProbes() int {
 // `probes` buckets per table (home bucket first, then neighbors in
 // query-directed perturbation order) is refined with exact Euclidean
 // distances and the k best are returned sorted ascending.
+//
+// Re-ranking runs through the batch-distance identity
+// ‖x‖² + ‖q‖² − 2⟨x,q⟩ with the point norms cached at Build, so each
+// candidate costs one fused dot product instead of a subtract-square scan.
+// Admitted neighbors are rescored with the exact metric before returning.
 func (ix *Index) KNNApprox(query []float64, k, probes int) ([]knn.Neighbor, index.Stats) {
 	n, d := ix.data.Dims()
 	if len(query) != d {
@@ -261,8 +260,7 @@ func (ix *Index) KNNApprox(query []float64, k, probes int) ([]knn.Neighbor, inde
 	}
 	var stats index.Stats
 	visited := make([]bool, n)
-	c := knn.NewCollector(k)
-	sq := knn.SquaredEuclidean{}
+	cand := make([]int32, 0, 256)
 	m := ix.hashes
 	hs := make([]int32, m)
 	frac := make([]float64, m)
@@ -270,7 +268,7 @@ func (ix *Index) KNNApprox(query []float64, k, probes int) ([]knn.Neighbor, inde
 	for ti := range ix.tables {
 		tb := &ix.tables[ti]
 		for j := 0; j < m; j++ {
-			f := (dot(tb.proj[j*d:(j+1)*d], query) + tb.off[j]) / ix.width
+			f := (linalg.Dot(tb.proj[j*d:(j+1)*d], query) + tb.off[j]) / ix.width
 			fl := math.Floor(f)
 			hs[j] = int32(fl)
 			frac[j] = f - fl
@@ -285,7 +283,7 @@ func (ix *Index) KNNApprox(query []float64, k, probes int) ([]knn.Neighbor, inde
 				visited[id] = true
 				stats.PointsScanned++
 				stats.CandidateSize++
-				c.Offer(int(id), sq.Distance(ix.data.RawRow(int(id)), query))
+				cand = append(cand, id)
 			}
 		}
 		scan(EncodeKey(hs))
@@ -296,10 +294,28 @@ func (ix *Index) KNNApprox(query []float64, k, probes int) ([]knn.Neighbor, inde
 			scan(EncodeKey(probed))
 		}
 	}
-	res := c.Results()
-	for i := range res {
-		res[i].Dist = math.Sqrt(res[i].Dist)
+	// Batch re-rank: candidates are offered in gather (scan) order, so tie
+	// handling matches the previous per-bucket scoring exactly.
+	qn := linalg.Dot(query, query)
+	c := knn.NewCollector(k)
+	for _, id := range cand {
+		d2 := ix.norms[id] + qn - 2*linalg.Dot(ix.data.RawRow(int(id)), query)
+		if d2 < 0 {
+			d2 = 0
+		}
+		c.Offer(int(id), d2)
 	}
+	res := c.Results()
+	e := knn.Euclidean{}
+	for i := range res {
+		res[i].Dist = e.Distance(ix.data.RawRow(res[i].Index), query)
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].Index < res[b].Index
+	})
 	return res, stats
 }
 

@@ -1,0 +1,186 @@
+package knn
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// This file is the batch-distance engine: Euclidean k-NN over a whole query
+// set computed as a handful of blocked GEMM kernels instead of O(nq·n)
+// scalar metric calls. Squared distances come from the norm-cache identity
+//
+//	D²[i][j] = ‖qᵢ‖² + ‖xⱼ‖² − 2·⟨qᵢ, xⱼ⟩
+//
+// with ‖x‖² computed once per matrix and the inner-product matrix produced
+// block by block with linalg.MulTInto, so a data tile is read once per
+// query block rather than once per query.
+
+const (
+	// batchQueryBlock is the number of query rows per GEMM block.
+	batchQueryBlock = 128
+	// batchDataTile is the number of data rows per GEMM tile. Together with
+	// batchQueryBlock it bounds scratch memory (block × tile float64s — 2 MB)
+	// and keeps a tile's inner-product block cache-resident while the
+	// collectors scan it.
+	batchDataTile = 2048
+)
+
+// PairwiseSq returns the queries.Rows() × data.Rows() matrix of squared
+// Euclidean distances between every query row and every data row, computed
+// through the blocked GEMM kernel with cached row norms. Entries are clamped
+// at zero (the norm-cache identity can round to a tiny negative for
+// near-identical points). The result is O(nq·n) memory; for k-NN workloads
+// prefer SearchSetBatch, which tiles instead of materializing.
+func PairwiseSq(data, queries *linalg.Dense) *linalg.Dense {
+	if data.Cols() != queries.Cols() {
+		panic(fmt.Sprintf("knn: pairwise dimension mismatch %d vs %d", queries.Cols(), data.Cols()))
+	}
+	dn := linalg.RowNormsSq(data)
+	qn := linalg.RowNormsSq(queries)
+	out := linalg.MulT(queries, data)
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RawRow(i)
+		qi := qn[i]
+		for j, g := range row {
+			d2 := qi + dn[j] - 2*g
+			if d2 < 0 {
+				d2 = 0
+			}
+			row[j] = d2
+		}
+	}
+	return out
+}
+
+// SearchSetBatch is SearchSet routed through the batch-distance engine. For
+// Euclidean and SquaredEuclidean metrics it computes per-tile inner-product
+// blocks with the blocked parallel GEMM kernel and feeds the same Collector
+// used by the scalar path; every other metric falls back to
+// SearchSetParallel. Admitted neighbors are rescored with the scalar metric
+// before being returned, so results — distances, ordering, and the
+// Collector's earliest-index tie handling — match SearchSet exactly (modulo
+// exact distance ties between distinct points separated only by float64
+// rounding of the norm-cache identity, which cannot occur on generic data).
+func SearchSetBatch(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [][]Neighbor {
+	switch m.(type) {
+	case Euclidean, SquaredEuclidean:
+	default:
+		return SearchSetParallel(data, queries, k, m, selfExclude)
+	}
+	n, d := data.Dims()
+	nq := queries.Rows()
+	if queries.Cols() != d {
+		panic(fmt.Sprintf("knn: queries have %d dims, data has %d", queries.Cols(), d))
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("knn: k=%d must be positive", k))
+	}
+	dataNorms := linalg.RowNormsSq(data)
+	queryNorms := linalg.RowNormsSq(queries)
+	collectors := make([]*Collector, nq)
+	for i := range collectors {
+		collectors[i] = NewCollector(k)
+	}
+
+	tile := batchDataTile
+	if tile > n {
+		tile = n
+	}
+	block := batchQueryBlock
+	if block > nq {
+		block = nq
+	}
+	scratch := make([]float64, block*tile)
+	for qlo := 0; qlo < nq; qlo += block {
+		qhi := qlo + block
+		if qhi > nq {
+			qhi = nq
+		}
+		qview := queries.RowSlice(qlo, qhi)
+		for jt := 0; jt < n; jt += tile {
+			je := jt + tile
+			if je > n {
+				je = n
+			}
+			// The GEMM kernel parallelizes its own row panels; the
+			// collector scans then parallelize over the block's queries.
+			g := linalg.NewDenseData(qhi-qlo, je-jt, scratch[:(qhi-qlo)*(je-jt)])
+			linalg.MulTInto(g, qview, data.RowSlice(jt, je))
+			parallelQueries(qhi-qlo, func(bi int) {
+				i := qlo + bi
+				c := collectors[i]
+				qn := queryNorms[i]
+				grow := g.RawRow(bi)
+				ex := -1
+				if selfExclude {
+					ex = i - jt // the query's own row, if it lies in this tile
+				}
+				for jj, gv := range grow {
+					if jj == ex {
+						continue
+					}
+					d2 := qn + dataNorms[jt+jj] - 2*gv
+					if d2 < 0 {
+						d2 = 0
+					}
+					c.Offer(jt+jj, d2)
+				}
+			})
+		}
+	}
+
+	out := make([][]Neighbor, nq)
+	parallelQueries(nq, func(i int) {
+		res := collectors[i].Results()
+		// Rescore with the scalar metric so reported distances are
+		// bit-identical to the scalar path, then restore (dist, index)
+		// order. O(nq·k·d) — noise next to the O(nq·n·d) scan.
+		q := queries.RawRow(i)
+		for t := range res {
+			res[t].Dist = m.Distance(data.RawRow(res[t].Index), q)
+		}
+		sort.Slice(res, func(a, b int) bool {
+			if res[a].Dist != res[b].Dist {
+				return res[a].Dist < res[b].Dist
+			}
+			return res[a].Index < res[b].Index
+		})
+		out[i] = res
+	})
+	return out
+}
+
+// parallelQueries runs fn(i) for i in [0, n) across contiguous chunks on up
+// to GOMAXPROCS goroutines (inline when only one worker is warranted).
+func parallelQueries(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

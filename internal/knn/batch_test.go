@@ -1,0 +1,283 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// withProcs runs fn at the given GOMAXPROCS so the parallel collector scans
+// are exercised even on single-core machines.
+func withProcs(n int, fn func()) {
+	saved := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(saved)
+	fn()
+}
+
+func TestPairwiseSqMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, c := range []struct{ n, nq, d int }{
+		{1, 1, 1}, {7, 3, 5}, {40, 11, 166}, {300, 17, 16},
+	} {
+		data := randMatrix(rng, c.n, c.d)
+		queries := randMatrix(rng, c.nq, c.d)
+		got := PairwiseSq(data, queries)
+		if r, cc := got.Dims(); r != c.nq || cc != c.n {
+			t.Fatalf("PairwiseSq dims %dx%d, want %dx%d", r, cc, c.nq, c.n)
+		}
+		sq := SquaredEuclidean{}
+		for i := 0; i < c.nq; i++ {
+			for j := 0; j < c.n; j++ {
+				want := sq.Distance(queries.RawRow(i), data.RawRow(j))
+				if math.Abs(got.At(i, j)-want) > 1e-9*(1+want) {
+					t.Fatalf("n=%d d=%d: D²[%d][%d] = %v, want %v", c.n, c.d, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestPairwiseSqSelfIsNonNegative(t *testing.T) {
+	// Identical rows hit the clamp: ‖x‖² + ‖x‖² − 2⟨x,x⟩ can round below 0.
+	rng := rand.New(rand.NewSource(53))
+	data := randMatrix(rng, 64, 166)
+	got := PairwiseSq(data, data)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if got.At(i, j) < 0 {
+				t.Fatalf("D²[%d][%d] = %v < 0", i, j, got.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPairwiseSqDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PairwiseSq(linalg.NewDense(3, 4), linalg.NewDense(2, 5))
+}
+
+// TestSearchSetBatchEquivalence is the ISSUE's acceptance equivalence test:
+// the batch engine must reproduce SearchSet exactly — same indices, same
+// distances, same tie handling — across dimensionalities spanning the tail
+// cases of the GEMM kernels.
+func TestSearchSetBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	metrics := []Metric{Euclidean{}, SquaredEuclidean{}}
+	for _, d := range []int{1, 7, 16, 166} {
+		data := randMatrix(rng, 400, d)
+		queries := randMatrix(rng, 75, d)
+		for _, m := range metrics {
+			for _, k := range []int{1, 10} {
+				want := SearchSet(data, queries, k, m, false)
+				got := SearchSetBatch(data, queries, k, m, false)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("d=%d metric=%s k=%d: batch differs from scalar", d, m.Name(), k)
+				}
+				withProcs(4, func() {
+					if !reflect.DeepEqual(SearchSetBatch(data, queries, k, m, false), want) {
+						t.Fatalf("d=%d metric=%s k=%d: parallel batch differs", d, m.Name(), k)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestSearchSetBatchSelfExclude(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	data := randMatrix(rng, 300, 16)
+	want := SearchSet(data, data, 5, Euclidean{}, true)
+	got := SearchSetBatch(data, data, 5, Euclidean{}, true)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("self-exclude batch differs from scalar")
+	}
+	for i, res := range got {
+		for _, nb := range res {
+			if nb.Index == i {
+				t.Fatalf("query %d returned itself", i)
+			}
+		}
+	}
+}
+
+func TestSearchSetBatchDuplicatesAndTies(t *testing.T) {
+	// Integer coordinates make the norm-cache identity exact, so ties between
+	// duplicate points must resolve to the same earliest indices as the
+	// scalar path.
+	rows := [][]float64{
+		{3, 4}, {3, 4}, {3, 4}, {0, 0}, {6, 8}, {3, 4}, {0, 0},
+	}
+	data := linalg.FromRows(rows)
+	queries := linalg.FromRows([][]float64{{3, 4}, {0, 0}, {1, 1}})
+	for _, k := range []int{1, 3, 5} {
+		want := SearchSet(data, queries, k, Euclidean{}, false)
+		got := SearchSetBatch(data, queries, k, Euclidean{}, false)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: ties resolved differently: got %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSearchSetBatchKLargerThanN(t *testing.T) {
+	data := linalg.FromRows([][]float64{{0}, {1}, {2}})
+	queries := linalg.FromRows([][]float64{{0.4}})
+	got := SearchSetBatch(data, queries, 10, Euclidean{}, false)
+	want := SearchSet(data, queries, 10, Euclidean{}, false)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("k>n: got %v, want %v", got, want)
+	}
+	if len(got[0]) != 3 {
+		t.Fatalf("k>n returned %d neighbors, want 3", len(got[0]))
+	}
+}
+
+func TestSearchSetBatchFallbackMetric(t *testing.T) {
+	// Non-Euclidean metrics must route through the scalar path unchanged.
+	rng := rand.New(rand.NewSource(61))
+	data := randMatrix(rng, 150, 8)
+	queries := randMatrix(rng, 20, 8)
+	for _, m := range []Metric{Manhattan{}, Chebyshev{}, NewMinkowski(0.5), Cosine{}} {
+		want := SearchSet(data, queries, 4, m, false)
+		got := SearchSetBatch(data, queries, 4, m, false)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("metric %s: fallback differs from scalar", m.Name())
+		}
+	}
+}
+
+func TestSearchSetBatchPanics(t *testing.T) {
+	data := linalg.NewDense(3, 2)
+	for name, fn := range map[string]func(){
+		"dim mismatch": func() { SearchSetBatch(data, linalg.NewDense(2, 3), 1, Euclidean{}, false) },
+		"k zero":       func() { SearchSetBatch(data, linalg.NewDense(2, 2), 0, Euclidean{}, false) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestSearchSetParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	data := randMatrix(rng, 200, 12)
+	queries := randMatrix(rng, 37, 12)
+	want := SearchSet(data, queries, 6, Euclidean{}, false)
+	withProcs(4, func() {
+		if got := SearchSetParallel(data, queries, 6, Euclidean{}, false); !reflect.DeepEqual(got, want) {
+			t.Fatal("chunked parallel search differs from serial")
+		}
+		if got := SearchSetParallel(data, data, 3, Euclidean{}, true); !reflect.DeepEqual(got, SearchSet(data, data, 3, Euclidean{}, true)) {
+			t.Fatal("chunked parallel self-exclude differs from serial")
+		}
+	})
+}
+
+func TestCollectorKLargerThanN(t *testing.T) {
+	c := NewCollector(10)
+	c.Offer(2, 1.5)
+	c.Offer(0, 0.5)
+	c.Offer(1, 2.5)
+	res := c.Results()
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	if res[0].Index != 0 || res[1].Index != 2 || res[2].Index != 1 {
+		t.Fatalf("order wrong: %v", res)
+	}
+	if c.Full() {
+		t.Fatal("collector with 3 of 10 must not report full")
+	}
+}
+
+func TestCollectorTieBreakDeterminism(t *testing.T) {
+	// Equal distances sort by ascending index regardless of offer order.
+	offer := func(order []int) []Neighbor {
+		c := NewCollector(3)
+		for _, i := range order {
+			c.Offer(i, 1.0)
+		}
+		return c.Results()
+	}
+	a := offer([]int{5, 1, 9})
+	b := offer([]int{9, 5, 1})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("tie order differs: %v vs %v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Index > a[i].Index {
+			t.Fatalf("ties not index-sorted: %v", a)
+		}
+	}
+	// A full collector rejects an equal-distance late arrival (first come,
+	// first kept) — both paths must share this rule for equivalence.
+	c := NewCollector(1)
+	if !c.Offer(4, 2.0) {
+		t.Fatal("first offer rejected")
+	}
+	if c.Offer(0, 2.0) {
+		t.Fatal("equal-distance late offer admitted")
+	}
+}
+
+func TestSearchExcludeWithDuplicates(t *testing.T) {
+	// Excluding one duplicate must still return its twins.
+	data := linalg.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {5, 5}})
+	got := Search(data, []float64{1, 1}, 2, Euclidean{}, 1)
+	if got[0].Index != 0 || got[1].Index != 2 {
+		t.Fatalf("exclude with duplicates: %v", got)
+	}
+	for _, nb := range got {
+		if nb.Dist != 0 {
+			t.Fatalf("duplicate distance %v != 0", nb.Dist)
+		}
+	}
+}
+
+// benchKNNData is the acceptance-criteria workload: the paper's pendigits-like
+// scale, n=6598 points at the musk-like d=166, 50 queries, k=10.
+func benchKNNData(b *testing.B) (data, queries *linalg.Dense) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(101))
+	data = randMatrix(rng, 6598, 166)
+	queries = randMatrix(rng, 50, 166)
+	return data, queries
+}
+
+func BenchmarkSearchSetParallel6598x166(b *testing.B) {
+	data, queries := benchKNNData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchSetParallel(data, queries, 10, Euclidean{}, false)
+	}
+}
+
+func BenchmarkSearchSetBatch6598x166(b *testing.B) {
+	data, queries := benchKNNData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchSetBatch(data, queries, 10, Euclidean{}, false)
+	}
+}
+
+func BenchmarkPairwiseSq1024x166(b *testing.B) {
+	rng := rand.New(rand.NewSource(103))
+	data := randMatrix(rng, 1024, 166)
+	queries := randMatrix(rng, 128, 166)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PairwiseSq(data, queries)
+	}
+}

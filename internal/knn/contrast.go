@@ -32,11 +32,13 @@ func RelativeContrast(data, queries *linalg.Dense, m Metric) (ContrastReport, er
 	nq := queries.Rows()
 	sumRel, sumRatio := 0.0, 0.0
 	minRel := math.Inf(1)
+	// Dimensions were validated above, so the scan uses the raw kernel.
+	dist := rawDistanceFunc(m)
 	for qi := 0; qi < nq; qi++ {
 		q := queries.RawRow(qi)
 		dmin, dmax := math.Inf(1), 0.0
 		for i := 0; i < data.Rows(); i++ {
-			d := m.Distance(data.RawRow(i), q)
+			d := dist(data.RawRow(i), q)
 			if d == 0 {
 				continue // skip exact duplicates of the query
 			}

@@ -106,11 +106,14 @@ func Search(data *linalg.Dense, query []float64, k int, m Metric, exclude int) [
 		panic(fmt.Sprintf("knn: k=%d must be positive", k))
 	}
 	c := NewCollector(k)
+	// Dimensions are validated once above, so the scan can use the metric's
+	// raw kernel and skip the per-pair length check.
+	dist := rawDistanceFunc(m)
 	for i := 0; i < n; i++ {
 		if i == exclude {
 			continue
 		}
-		c.Offer(i, m.Distance(data.RawRow(i), query))
+		c.Offer(i, dist(data.RawRow(i), query))
 	}
 	return c.Results()
 }
@@ -134,7 +137,10 @@ func SearchSet(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [
 // worker pool of up to runtime.GOMAXPROCS(0) goroutines. Queries are
 // independent, so the result is exactly SearchSet's; use it for the
 // ground-truth workloads of experiment sweeps, which are embarrassingly
-// parallel and dominated by distance computations.
+// parallel and dominated by distance computations. Work is handed out as
+// chunked index ranges over a buffered channel, so per-query scheduling
+// overhead stays negligible even on small-d workloads where a single query
+// is only microseconds of work.
 func SearchSetParallel(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [][]Neighbor {
 	nq := queries.Rows()
 	out := make([][]Neighbor, nq)
@@ -145,23 +151,34 @@ func SearchSetParallel(data, queries *linalg.Dense, k int, m Metric, selfExclude
 	if workers <= 1 {
 		return SearchSet(data, queries, k, m, selfExclude)
 	}
-	jobs := make(chan int)
+	// A few chunks per worker balances load without per-query channel trips.
+	chunk := nq / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	jobs := make(chan [2]int, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				ex := -1
-				if selfExclude {
-					ex = i
+			for r := range jobs {
+				for i := r[0]; i < r[1]; i++ {
+					ex := -1
+					if selfExclude {
+						ex = i
+					}
+					out[i] = Search(data, queries.RawRow(i), k, m, ex)
 				}
-				out[i] = Search(data, queries.RawRow(i), k, m, ex)
 			}
 		}()
 	}
-	for i := 0; i < nq; i++ {
-		jobs <- i
+	for lo := 0; lo < nq; lo += chunk {
+		hi := lo + chunk
+		if hi > nq {
+			hi = nq
+		}
+		jobs <- [2]int{lo, hi}
 	}
 	close(jobs)
 	wg.Wait()

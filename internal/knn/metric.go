@@ -21,12 +21,33 @@ type Metric interface {
 	Name() string
 }
 
+// rawDistancer is implemented by the built-in metrics, whose Distance is a
+// length check followed by pure arithmetic. Scans that validate dimensions
+// once up front call the raw kernel and skip the per-pair check.
+type rawDistancer interface {
+	rawDistance(a, b []float64) float64
+}
+
+// rawDistanceFunc returns m's unchecked distance kernel when it has one and
+// m.Distance otherwise. Callers must already have validated that every pair
+// they pass has equal lengths.
+func rawDistanceFunc(m Metric) func(a, b []float64) float64 {
+	if rd, ok := m.(rawDistancer); ok {
+		return rd.rawDistance
+	}
+	return m.Distance
+}
+
 // Euclidean is the L₂ metric.
 type Euclidean struct{}
 
 // Distance implements Metric.
-func (Euclidean) Distance(a, b []float64) float64 {
+func (e Euclidean) Distance(a, b []float64) float64 {
 	checkLens(a, b)
+	return e.rawDistance(a, b)
+}
+
+func (Euclidean) rawDistance(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {
 		d := a[i] - b[i]
@@ -43,8 +64,12 @@ func (Euclidean) Name() string { return "L2" }
 type SquaredEuclidean struct{}
 
 // Distance implements Metric.
-func (SquaredEuclidean) Distance(a, b []float64) float64 {
+func (e SquaredEuclidean) Distance(a, b []float64) float64 {
 	checkLens(a, b)
+	return e.rawDistance(a, b)
+}
+
+func (SquaredEuclidean) rawDistance(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {
 		d := a[i] - b[i]
@@ -60,8 +85,12 @@ func (SquaredEuclidean) Name() string { return "L2sq" }
 type Manhattan struct{}
 
 // Distance implements Metric.
-func (Manhattan) Distance(a, b []float64) float64 {
+func (m Manhattan) Distance(a, b []float64) float64 {
 	checkLens(a, b)
+	return m.rawDistance(a, b)
+}
+
+func (Manhattan) rawDistance(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {
 		s += math.Abs(a[i] - b[i])
@@ -76,8 +105,12 @@ func (Manhattan) Name() string { return "L1" }
 type Chebyshev struct{}
 
 // Distance implements Metric.
-func (Chebyshev) Distance(a, b []float64) float64 {
+func (c Chebyshev) Distance(a, b []float64) float64 {
 	checkLens(a, b)
+	return c.rawDistance(a, b)
+}
+
+func (Chebyshev) rawDistance(a, b []float64) float64 {
 	m := 0.0
 	for i := range a {
 		if d := math.Abs(a[i] - b[i]); d > m {
@@ -107,6 +140,10 @@ func NewMinkowski(p float64) Minkowski {
 // Distance implements Metric.
 func (m Minkowski) Distance(a, b []float64) float64 {
 	checkLens(a, b)
+	return m.rawDistance(a, b)
+}
+
+func (m Minkowski) rawDistance(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {
 		s += math.Pow(math.Abs(a[i]-b[i]), m.P)
@@ -123,8 +160,12 @@ func (m Minkowski) Name() string { return fmt.Sprintf("L%g", m.P) }
 type Cosine struct{}
 
 // Distance implements Metric.
-func (Cosine) Distance(a, b []float64) float64 {
+func (c Cosine) Distance(a, b []float64) float64 {
 	checkLens(a, b)
+	return c.rawDistance(a, b)
+}
+
+func (Cosine) rawDistance(a, b []float64) float64 {
 	var dot, na, nb float64
 	for i := range a {
 		dot += a[i] * b[i]

@@ -50,6 +50,68 @@ func BenchmarkMatMul128(b *testing.B) {
 	}
 }
 
+var benchSink float64
+
+func BenchmarkDot166(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randDense(rng, 2, 166)
+	u, v := x.RawRow(0), x.RawRow(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = Dot(u, v)
+	}
+}
+
+func BenchmarkDotGeneric166(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randDense(rng, 2, 166)
+	u, v := x.RawRow(0), x.RawRow(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = dotGeneric(u, v)
+	}
+}
+
+// BenchmarkMulT512x166 against BenchmarkMulNaiveT512x166 is the blocked
+// kernel's proof of win over the seed's ikj Mul on the same product shape.
+func BenchmarkMulT512x166(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randDense(rng, 512, 166)
+	y := randDense(rng, 512, 166)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulT(x, y)
+	}
+}
+
+func BenchmarkMulNaiveT512x166(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randDense(rng, 512, 166)
+	y := randDense(rng, 512, 166)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y.T())
+	}
+}
+
+func BenchmarkAtA6598x166(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randDense(rng, 6598, 166)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AtA(x)
+	}
+}
+
+func BenchmarkAtANaive6598x166(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randDense(rng, 6598, 166)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.T().Mul(x)
+	}
+}
+
 func BenchmarkSVD64x32(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	a := randDense(rng, 64, 32)

@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the compute substrate of the batch-distance engine: blocked,
+// goroutine-parallel matrix products in the two shapes similarity search
+// needs — A·Bᵀ between row-major point sets (queries × data, points ×
+// centroids) and the symmetric AᵀA of a centered data matrix (covariance).
+// Both reduce every output element to a unit-stride inner product over rows,
+// which is exactly what the Dot/Axpy kernels are tuned for, and both block
+// their operands so a panel of B stays cache-resident while a panel of A
+// streams past it.
+
+// mulTColBlock is the number of b rows per output panel. A panel of
+// mulTColBlock rows at a few hundred columns is a few hundred KB — L2
+// resident — so every a row read pays for mulTColBlock dot products.
+const mulTColBlock = 128
+
+// MulT returns a · bᵀ for an m×k matrix a and an n×k matrix b (both row
+// major), as a new m×n matrix. It is the cache-friendly form of Mul for
+// row-major operands: out[i][j] = ⟨a.Row(i), b.Row(j)⟩, so both inner-loop
+// operands are contiguous. Row panels run in parallel on up to
+// runtime.GOMAXPROCS(0) goroutines.
+func MulT(a, b *Dense) *Dense {
+	out := NewDense(a.rows, b.rows)
+	return MulTInto(out, a, b)
+}
+
+// MulTInto computes a · bᵀ into dst (which must be a.Rows() × b.Rows() and
+// must not share storage with a or b) and returns dst. It allocates nothing,
+// so per-block scratch can be reused across calls.
+func MulTInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("linalg: MulT dimension mismatch %dx%d · (%dx%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("linalg: MulTInto dst is %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.rows))
+	}
+	parallelRanges(a.rows, func(lo, hi int) { mulTPanel(dst, a, b, lo, hi) })
+	return dst
+}
+
+// mulTPanel computes output rows [lo, hi) of a · bᵀ.
+func mulTPanel(dst, a, b *Dense, lo, hi int) {
+	k := a.cols
+	for jb := 0; jb < b.rows; jb += mulTColBlock {
+		je := jb + mulTColBlock
+		if je > b.rows {
+			je = b.rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := dst.data[i*dst.cols : (i+1)*dst.cols]
+			for j := jb; j < je; j++ {
+				orow[j] = dotUnitary(arow, b.data[j*k:(j+1)*k])
+			}
+		}
+	}
+}
+
+// AtA returns aᵀ·a for an n×k matrix a as a k×k matrix that is exactly
+// symmetric by construction (the lower triangle is mirrored from the
+// computed upper triangle, so no post-hoc symmetrization is needed). Row
+// panels accumulate per-worker partial sums that are reduced in worker
+// order, so the result is deterministic for a fixed GOMAXPROCS.
+func AtA(a *Dense) *Dense {
+	n, k := a.rows, a.cols
+	out := NewDense(k, k)
+	workers := runtime.GOMAXPROCS(0)
+	// Each worker owns a k×k accumulator; don't spawn more than the row
+	// count (or anything for small inputs) can pay for.
+	if maxW := n / 64; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		ataPanel(a, out.data, 0, n)
+	} else {
+		partials := make([][]float64, workers)
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				buf := make([]float64, k*k)
+				ataPanel(a, buf, lo, hi)
+				partials[w] = buf
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, buf := range partials {
+			if buf == nil {
+				continue
+			}
+			for i := 0; i < k; i++ {
+				Axpy(1, buf[i*k+i:(i+1)*k], out.data[i*k+i:(i+1)*k])
+			}
+		}
+	}
+	// Mirror the upper triangle into the lower.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			out.data[j*k+i] = out.data[i*k+j]
+		}
+	}
+	return out
+}
+
+// ataPanel accumulates the upper triangle of Σ_{i∈[lo,hi)} rowᵢ·rowᵢᵀ into
+// acc (a k×k row-major buffer): one suffix axpy per (row, leading index).
+func ataPanel(a *Dense, acc []float64, lo, hi int) {
+	k := a.cols
+	for i := lo; i < hi; i++ {
+		row := a.data[i*k : (i+1)*k]
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			axpyUnitary(v, row[j:], acc[j*k+j:(j+1)*k])
+		}
+	}
+}
+
+// RowNormsSq returns ‖row‖² for every row of m — the cached-norm half of
+// the D²(q,x) = ‖q‖² + ‖x‖² − 2⟨q,x⟩ batch-distance identity.
+func RowNormsSq(m *Dense) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		out[i] = dotUnitary(row, row)
+	}
+	return out
+}
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker and
+// runs fn on each chunk concurrently, up to runtime.GOMAXPROCS(0) workers.
+func parallelRanges(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

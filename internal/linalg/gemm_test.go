@@ -1,0 +1,226 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// withGeneric runs fn with the assembly kernels disabled, so every test
+// using it covers the portable path even on AVX2 hardware.
+func withGeneric(fn func()) {
+	saved := hasAVX2FMA
+	hasAVX2FMA = false
+	defer func() { hasAVX2FMA = saved }()
+	fn()
+}
+
+// withWorkers runs fn at the given GOMAXPROCS so parallel panels are
+// exercised even on single-core machines.
+func withWorkers(n int, fn func()) {
+	saved := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(saved)
+	fn()
+}
+
+func TestDotKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 33, 100, 166, 255, 256, 1000} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		fast := Dot(a, b)
+		var slow float64
+		withGeneric(func() { slow = Dot(a, b) })
+		naive := 0.0
+		for i := range a {
+			naive += a[i] * b[i]
+		}
+		tol := 1e-12 * (1 + math.Abs(naive))
+		if math.Abs(fast-naive) > tol {
+			t.Fatalf("n=%d: dispatched Dot %v, naive %v", n, fast, naive)
+		}
+		if math.Abs(slow-naive) > tol {
+			t.Fatalf("n=%d: generic Dot %v, naive %v", n, slow, naive)
+		}
+	}
+}
+
+func TestDotSpecialValues(t *testing.T) {
+	a := []float64{1, math.Inf(1), 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
+	if got := Dot(a, b); !math.IsInf(got, 1) {
+		t.Fatalf("Dot with +Inf = %v", got)
+	}
+	a[1] = math.NaN()
+	if got := Dot(a, b); !math.IsNaN(got) {
+		t.Fatalf("Dot with NaN = %v", got)
+	}
+}
+
+func TestAxpyKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 166} {
+		x := make([]float64, n)
+		y0 := make([]float64, n)
+		for i := range x {
+			x[i], y0[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		const alpha = 1.7
+		fast := append([]float64(nil), y0...)
+		Axpy(alpha, x, fast)
+		slow := append([]float64(nil), y0...)
+		withGeneric(func() { Axpy(alpha, x, slow) })
+		for i := range fast {
+			want := y0[i] + alpha*x[i]
+			if math.Abs(fast[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("n=%d: fast Axpy[%d] = %v, want %v", n, i, fast[i], want)
+			}
+			if math.Abs(slow[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("n=%d: generic Axpy[%d] = %v, want %v", n, i, slow[i], want)
+			}
+		}
+	}
+}
+
+func TestMulTMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct{ m, n, k int }{
+		{1, 1, 1}, {3, 5, 7}, {17, 9, 166}, {64, 64, 16},
+		{200, 130, 33}, {5, 300, 2}, {130, 1, 40},
+	}
+	for _, c := range cases {
+		a := randDense(rng, c.m, c.k)
+		b := randDense(rng, c.n, c.k)
+		got := MulT(a, b)
+		want := a.Mul(b.T())
+		if !got.Equal(want, 1e-10) {
+			t.Fatalf("MulT(%dx%d, %dx%d) differs from Mul(a, bᵀ)", c.m, c.k, c.n, c.k)
+		}
+		withWorkers(4, func() {
+			withGeneric(func() {
+				if !MulT(a, b).Equal(want, 1e-10) {
+					t.Fatalf("parallel generic MulT(%dx%d, %dx%d) differs", c.m, c.k, c.n, c.k)
+				}
+			})
+		})
+	}
+}
+
+func TestMulTIntoValidatesAndReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	a := randDense(rng, 6, 5)
+	b := randDense(rng, 4, 5)
+	dst := NewDense(6, 4)
+	if got := MulTInto(dst, a, b); got != dst {
+		t.Fatal("MulTInto must return dst")
+	}
+	// Reuse must fully overwrite the previous contents.
+	first := dst.Clone()
+	MulTInto(dst, a, b)
+	if !dst.Equal(first, 0) {
+		t.Fatal("MulTInto not idempotent on reuse")
+	}
+	for name, fn := range map[string]func(){
+		"inner mismatch": func() { MulT(randDense(rng, 3, 4), randDense(rng, 3, 5)) },
+		"bad dst rows":   func() { MulTInto(NewDense(5, 4), a, b) },
+		"bad dst cols":   func() { MulTInto(NewDense(6, 5), a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAtAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, c := range []struct{ n, k int }{
+		{1, 1}, {2, 3}, {50, 7}, {64, 64}, {300, 17}, {129, 166},
+	} {
+		a := randDense(rng, c.n, c.k)
+		got := AtA(a)
+		want := a.T().Mul(a)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("AtA(%dx%d) differs from aᵀ·a", c.n, c.k)
+		}
+		if !got.IsSymmetric(0) {
+			t.Fatalf("AtA(%dx%d) not exactly symmetric", c.n, c.k)
+		}
+		withWorkers(4, func() {
+			if !AtA(a).Equal(want, 1e-9) {
+				t.Fatalf("parallel AtA(%dx%d) differs", c.n, c.k)
+			}
+		})
+	}
+}
+
+func TestAtAZeroHeavyRows(t *testing.T) {
+	// The j-loop skips zero leading elements; make sure sparsity doesn't
+	// drop contributions.
+	a := FromRows([][]float64{
+		{0, 0, 2},
+		{1, 0, 0},
+		{0, 3, 1},
+	})
+	want := a.T().Mul(a)
+	if got := AtA(a); !got.Equal(want, 1e-14) {
+		t.Fatalf("AtA on sparse rows = %v, want %v", got, want)
+	}
+}
+
+func TestRowNormsSq(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := randDense(rng, 20, 166)
+	norms := RowNormsSq(m)
+	for i := 0; i < 20; i++ {
+		row := m.RawRow(i)
+		want := 0.0
+		for _, v := range row {
+			want += v * v
+		}
+		if math.Abs(norms[i]-want) > 1e-10*(1+want) {
+			t.Fatalf("RowNormsSq[%d] = %v, want %v", i, norms[i], want)
+		}
+	}
+}
+
+func TestRowSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := randDense(rng, 10, 4)
+	v := m.RowSlice(3, 7)
+	if r, c := v.Dims(); r != 4 || c != 4 {
+		t.Fatalf("RowSlice dims %dx%d", r, c)
+	}
+	for i := 0; i < 4; i++ {
+		if !VecEqual(v.RawRow(i), m.RawRow(3+i), 0) {
+			t.Fatalf("RowSlice row %d differs", i)
+		}
+	}
+	// Shared storage: writes through the view land in the parent.
+	v.Set(0, 0, 99)
+	if m.At(3, 0) != 99 {
+		t.Fatal("RowSlice does not share storage")
+	}
+	for name, fn := range map[string]func(){
+		"lo<0":   func() { m.RowSlice(-1, 2) },
+		"hi>n":   func() { m.RowSlice(0, 11) },
+		"lo>=hi": func() { m.RowSlice(5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,62 @@
+//go:build amd64
+
+package linalg
+
+// Dispatch for the AVX2/FMA assembly kernels in kernel_amd64.s. Detection
+// mirrors internal/cpu: the instruction sets must be present (FMA, AVX,
+// AVX2) and the OS must have enabled XMM+YMM state saving (OSXSAVE +
+// XGETBV), otherwise the generic Go kernels run.
+
+//go:noescape
+func dotAVX2(a, b []float64) float64
+
+//go:noescape
+func axpyAVX2(alpha float64, x, y []float64)
+
+func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2FMA gates the assembly kernels. It is a var so tests can force the
+// generic path and assert both implementations agree.
+var hasAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	const (
+		cpuid1FMA     = 1 << 12 // CPUID.1:ECX.FMA
+		cpuid1OSXSAVE = 1 << 27 // CPUID.1:ECX.OSXSAVE
+		cpuid1AVX     = 1 << 28 // CPUID.1:ECX.AVX
+		cpuid7AVX2    = 1 << 5  // CPUID.7.0:EBX.AVX2
+	)
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidx(1, 0)
+	if ecx1&cpuid1FMA == 0 || ecx1&cpuid1OSXSAVE == 0 || ecx1&cpuid1AVX == 0 {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidx(7, 0)
+	return ebx7&cpuid7AVX2 != 0
+}
+
+// asmMinLen is the vector length below which the call + VZEROUPPER overhead
+// of the assembly kernels beats their SIMD win.
+const asmMinLen = 16
+
+func dotUnitary(a, b []float64) float64 {
+	if hasAVX2FMA && len(a) >= asmMinLen {
+		return dotAVX2(a, b)
+	}
+	return dotGeneric(a, b)
+}
+
+func axpyUnitary(alpha float64, x, y []float64) {
+	if hasAVX2FMA && len(x) >= asmMinLen {
+		axpyAVX2(alpha, x, y)
+		return
+	}
+	axpyGeneric(alpha, x, y)
+}

@@ -1,0 +1,121 @@
+// AVX2/FMA kernels for the hot inner products of the batch-distance engine.
+// Only unit-stride, read-only (dot) and read-modify-write (axpy) forms are
+// provided; callers guarantee len(a) == len(b). The kernels are dispatched
+// behind the hasAVX2FMA CPUID gate in kernel_amd64.go and are bit-for-bit
+// deterministic on a given machine (FMA contraction makes results differ
+// from the generic kernels in the last ulp or two).
+
+#include "textflag.h"
+
+// func dotAVX2(a, b []float64) float64
+//
+// Four 256-bit accumulators hide the 4-5 cycle FMA latency; 16 elements per
+// iteration. The tail runs scalar FMAs into the low lane of the reduced sum.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ CX, BX
+	SHRQ $4, BX
+	JZ   reduce
+
+loop16:
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VMOVUPD 64(SI), Y6
+	VMOVUPD 96(SI), Y7
+	VFMADD231PD (DI), Y4, Y0
+	VFMADD231PD 32(DI), Y5, Y1
+	VFMADD231PD 64(DI), Y6, Y2
+	VFMADD231PD 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ BX
+	JNZ  loop16
+
+reduce:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	ANDQ $15, CX
+	JZ   done
+
+tail:
+	VMOVSD (SI), X1
+	VFMADD231SD (DI), X1, X0
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  tail
+
+done:
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func axpyAVX2(alpha float64, x, y []float64)
+//
+// y += alpha * x, 8 elements per iteration.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ x_len+16(FP), CX
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   axpytailsetup
+
+axpyloop8:
+	VMOVUPD (DI), Y1
+	VMOVUPD 32(DI), Y2
+	VFMADD231PD (SI), Y0, Y1
+	VFMADD231PD 32(SI), Y0, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  axpyloop8
+
+axpytailsetup:
+	ANDQ $7, CX
+	JZ   axpydone
+
+axpytail:
+	VMOVSD (DI), X1
+	VFMADD231SD (SI), X0, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  axpytail
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidx(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package linalg
+
+// hasAVX2FMA is declared on every platform so tests can reference it; off
+// amd64 it is always false and only the generic kernels run.
+var hasAVX2FMA = false
+
+func dotUnitary(a, b []float64) float64 { return dotGeneric(a, b) }
+
+func axpyUnitary(alpha float64, x, y []float64) { axpyGeneric(alpha, x, y) }

@@ -327,6 +327,16 @@ func (m *Dense) FrobeniusNorm() float64 {
 	return Norm2(m.data)
 }
 
+// RowSlice returns a view of rows [lo, hi) that shares m's backing storage
+// (no copy); mutations are visible through both. It is how the batch engine
+// carves query blocks and data tiles without touching the data.
+func (m *Dense) RowSlice(lo, hi int) *Dense {
+	if lo < 0 || hi > m.rows || lo >= hi {
+		panic(fmt.Sprintf("linalg: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.rows))
+	}
+	return &Dense{rows: hi - lo, cols: m.cols, data: m.data[lo*m.cols : hi*m.cols]}
+}
+
 // SliceCols returns a copy of m restricted to the given column indices, in
 // the order provided.
 func (m *Dense) SliceCols(cols []int) *Dense {

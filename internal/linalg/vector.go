@@ -5,14 +5,34 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b. It dispatches to an AVX2/FMA
+// assembly kernel on capable amd64 hardware and to dotGeneric elsewhere;
+// both are deterministic, but the fused path rounds differently in the last
+// ulp or two.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
+	return dotUnitary(a, b)
+}
+
+// dotGeneric is the portable dot kernel. Four independent accumulators
+// break the loop-carried dependence of the naive `s += a[i]*b[i]` loop,
+// whose add-latency chain caps it at a fraction of the FP ports' throughput.
+func dotGeneric(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n] // hoist the bounds check out of the loop
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -59,7 +79,8 @@ func NormInf(v []float64) float64 {
 	return m
 }
 
-// Axpy computes y += alpha*x in place.
+// Axpy computes y += alpha*x in place, through the same kernel dispatch as
+// Dot.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
@@ -67,8 +88,23 @@ func Axpy(alpha float64, x, y []float64) {
 	if alpha == 0 {
 		return
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	axpyUnitary(alpha, x, y)
+}
+
+// axpyGeneric is the portable axpy kernel (unrolled; elements are
+// independent, so this is store-throughput bound rather than latency bound).
+func axpyGeneric(alpha float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
 	}
 }
 

@@ -90,22 +90,16 @@ func Standardize(x *linalg.Dense, eps float64) (out *linalg.Dense, means, sds []
 // CovarianceMatrix returns the d x d population covariance matrix of the
 // n x d data matrix x (rows are points): C_ij = E[(X_i−μ_i)(X_j−μ_j)].
 func CovarianceMatrix(x *linalg.Dense) *linalg.Dense {
-	n, d := x.Dims()
+	n, _ := x.Dims()
 	if n < 2 {
 		panic(fmt.Sprintf("stats: CovarianceMatrix requires >= 2 rows, got %d", n))
 	}
 	centered, _ := Center(x)
-	// C = Zᵀ Z / n.
-	c := centered.T().Mul(centered)
+	// C = Zᵀ Z / n through the blocked syrk kernel, which accumulates each
+	// C_ij once and mirrors it, so the result is exactly symmetric with no
+	// post-hoc averaging.
+	c := linalg.AtA(centered)
 	c.Scale(1 / float64(n))
-	// Enforce exact symmetry against floating-point drift.
-	for i := 0; i < d; i++ {
-		for j := i + 1; j < d; j++ {
-			v := 0.5 * (c.At(i, j) + c.At(j, i))
-			c.Set(i, j, v)
-			c.Set(j, i, v)
-		}
-	}
 	return c
 }
 

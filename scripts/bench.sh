@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench.sh measures the batch-distance engine's key kernels and writes
+# BENCH_knn.json (or $1) with ns/op for each, alongside the frozen pre-engine
+# baselines so the before/after comparison travels with the repo.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_knn.json}
+benchtime=${2:-5x}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# The ns-scale Dot kernel needs enough iterations to swamp timer overhead,
+# so it gets a time-based budget instead of the fixed iteration count.
+go test -run=NONE -benchtime=200ms -bench='^BenchmarkDot166$' ./internal/linalg/ >>"$tmp"
+go test -run=NONE -benchtime="$benchtime" \
+  -bench='^(BenchmarkMulT512x166|BenchmarkMulNaiveT512x166|BenchmarkAtA6598x166)$' \
+  ./internal/linalg/ >>"$tmp"
+go test -run=NONE -benchtime="$benchtime" \
+  -bench='^(BenchmarkPairwiseSq1024x166|BenchmarkSearchSetParallel6598x166|BenchmarkSearchSetBatch6598x166)$' \
+  ./internal/knn/ >>"$tmp"
+go test -run=NONE -benchtime="$benchtime" -bench='^BenchmarkLSHQueryD166$' . >>"$tmp"
+
+awk -v out="$out" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns[name] = $3
+    order[n++] = name
+}
+END {
+    printf "{\n" > out
+    printf "  \"unit\": \"ns/op\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"benchtime\": \"%s\",\n", "'"$benchtime"'" >> out
+    printf "  \"current\": {\n" >> out
+    for (i = 0; i < n; i++) {
+        sep = (i < n - 1) ? "," : ""
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], sep >> out
+    }
+    printf "  },\n" >> out
+    # Pre-engine baselines measured on the same machine at the seed commit:
+    # scalar SearchSetParallel ground truth, Mul(a, bT) via the naive ikj
+    # kernel, CovarianceMatrix via T().Mul(), and the pre-rewrite LSH query.
+    printf "  \"baseline_seed\": {\n" >> out
+    printf "    \"SearchSetParallel6598x166\": 60404269,\n" >> out
+    printf "    \"MulNaiveT512x166\": 25600000,\n" >> out
+    printf "    \"CovarianceMatrix6598x166\": 208387405\n" >> out
+    printf "  }\n" >> out
+    printf "}\n" >> out
+}
+' "$tmp"
+
+echo "wrote $out"
+cat "$out"
