@@ -1,0 +1,125 @@
+// Command drlint runs this repository's project-specific static analyzers
+// (dimension guards, seeded-randomness, float comparison, goroutine
+// hygiene) over the module and exits nonzero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/drlint ./...          # whole module
+//	go run ./cmd/drlint internal/knn   # one directory
+//	go run ./cmd/drlint -rules floatcmp,dimguard ./...
+//	go run ./cmd/drlint -list
+//
+// Findings print as file:line:col: [rule] message. Suppress an intentional
+// finding with a justified directive on the offending line or the line
+// above: //drlint:ignore <rule> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: drlint [-rules r1,r2] [-list] [patterns...]\n\npatterns are directories or ./... (default ./...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*rules, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pat := range patterns {
+		d, err := runPattern(root, pat, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		diags = append(diags, d...)
+	}
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "drlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// runPattern resolves one CLI pattern: "./..." (or "all") walks the module;
+// anything else is a single package directory, relative to the module root.
+func runPattern(root, pat string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	if pat == "./..." || pat == "..." || pat == "all" {
+		return analysis.Run(root, analyzers)
+	}
+	dir := strings.TrimSuffix(pat, "/...")
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(root, dir)
+	}
+	if strings.HasSuffix(pat, "/...") {
+		pkgs, err := analysis.LoadUnder(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		return analysis.RunPackages(pkgs, analyzers), nil
+	}
+	pkg, err := analysis.LoadDir(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("drlint: no Go files in %s", dir)
+	}
+	return analysis.RunPackages([]*analysis.Package{pkg}, analyzers), nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("drlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestModuleRootFindsGoMod(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == "" {
+		t.Fatal("empty module root")
+	}
+}
+
+// TestCleanTreeHasNoFindings is the CLI-level view of the self-enforcing
+// lint: the committed tree must produce zero diagnostics.
+func TestCleanTreeHasNoFindings(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runPattern(root, "./...", analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestFixtureViolationsAreReported points the CLI machinery at a directory
+// full of known violations (the analyzers' own fixtures, which the normal
+// walk skips as testdata) and checks findings come back positioned.
+func TestFixtureViolationsAreReported(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runPattern(root, "internal/analysis/testdata/src/globalrand", analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected findings from the globalrand fixture, got none")
+	}
+	for _, d := range diags {
+		if d.Pos.Line <= 0 || !strings.Contains(d.Pos.Filename, "globalrand") {
+			t.Errorf("diagnostic lacks a usable position: %s", d)
+		}
+	}
+}
+
+func TestRunPatternSubtree(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runPattern(root, "internal/knn/...", analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/knn should lint clean, got %v", diags)
+	}
+}
+
+func TestRulesFilter(t *testing.T) {
+	if _, err := analysis.ByName([]string{"globalrand"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.ByName([]string{"bogus"}); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}

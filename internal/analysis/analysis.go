@@ -1,0 +1,160 @@
+// Package analysis is a project-specific static-analysis framework for the
+// numeric, concurrency, and reproducibility invariants this codebase relies
+// on but the Go compiler cannot check. It is stdlib-only (go/ast, go/parser,
+// go/token) and ships four analyzers:
+//
+//   - dimguard: exported linalg/knn kernels taking two or more vector or
+//     matrix arguments must validate dimensions before indexing.
+//   - globalrand: randomness must flow through an injected seeded
+//     *rand.Rand — no global math/rand state, no hardcoded literal seeds in
+//     library code. This is the determinism contract: a root seed threaded
+//     through Options/configs yields bit-identical outputs on every run.
+//   - floatcmp: no ==/!= between floating-point expressions outside tests
+//     (comparison against the exact literal 0 is allowed — that is the IEEE
+//     degenerate-case guard, not an approximate-equality bug).
+//   - goroutinehygiene: every `go` statement launched inside a loop must be
+//     paired with a sync.WaitGroup Add/Done (or a result-channel handshake)
+//     in the same function, the shape used by the GEMM panels and the
+//     parallel searchers.
+//
+// Findings can be suppressed with a justified directive on the offending
+// line or the line above it:
+//
+//	//drlint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory; a directive names exactly the rules it silences.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned for file:line reporting.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// File is one parsed source file of a package.
+type File struct {
+	AST  *ast.File
+	Name string // path as given to the parser
+	Test bool   // *_test.go
+}
+
+// Package is a directory of parsed files sharing one *token.FileSet.
+type Package struct {
+	Dir   string // directory relative to the module root (".", "internal/knn", ...)
+	Path  string // import path ("repro/internal/knn")
+	Fset  *token.FileSet
+	Files []File
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles returns the package's files, skipping tests when the analyzer
+// does not apply to them.
+func (p *Pass) SourceFiles() []File {
+	if p.Analyzer.IncludeTests {
+		return p.Pkg.Files
+	}
+	out := make([]File, 0, len(p.Pkg.Files))
+	for _, f := range p.Pkg.Files {
+		if !f.Test {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// IncludeTests runs the rule over *_test.go files too. All shipped
+	// analyzers enforce production invariants and leave tests alone.
+	IncludeTests bool
+	Run          func(pass *Pass)
+}
+
+// All returns the analyzers this project enforces, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DimGuard, GlobalRand, FloatCmp, GoroutineHygiene}
+}
+
+// ByName returns the subset of All whose names appear in names, erroring on
+// unknown names.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown rule %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunPackages applies each analyzer to each package and returns the
+// surviving diagnostics (suppressed findings removed), sorted by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		diags = append(diags, filterIgnored(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// Run loads every package under root and applies the analyzers.
+func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers), nil
+}

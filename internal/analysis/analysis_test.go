@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation annotations in fixtures: // want "regexp"
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)+)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runFixture loads one testdata package, runs a single analyzer (with
+// suppression filtering), and checks the diagnostics against the fixture's
+// // want annotations: every want must fire and every diagnostic must be
+// wanted.
+func runFixture(t *testing.T, a *Analyzer, dir, pretendPath string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	pkg, err := LoadDir(root, filepath.Join(root, dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	if pretendPath != "" {
+		pkg.Path = pretendPath
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+
+	diags := RunPackages([]*Package{pkg}, []*Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDimGuardFixture(t *testing.T) {
+	runFixture(t, DimGuard, "dimguard", "repro/internal/linalg")
+}
+
+func TestDimGuardSkipsOtherPackages(t *testing.T) {
+	// The same fixture under a non-kernel import path must be silent.
+	root := filepath.Join("testdata", "src")
+	pkg, err := LoadDir(root, filepath.Join(root, "dimguard"))
+	if err != nil || pkg == nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pkg.Path = "repro/internal/experiments"
+	if diags := RunPackages([]*Package{pkg}, []*Analyzer{DimGuard}); len(diags) != 0 {
+		t.Fatalf("dimguard fired outside its packages: %v", diags)
+	}
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	runFixture(t, GlobalRand, "globalrand", "")
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixture(t, FloatCmp, "floatcmp", "")
+}
+
+func TestGoroutineHygieneFixture(t *testing.T) {
+	runFixture(t, GoroutineHygiene, "goroutinehygiene", "")
+}
+
+// parseSrc builds an in-memory single-file package for directive tests.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Dir: ".", Path: "repro/fixture", Fset: fset, Files: []File{{AST: f, Name: "src.go"}}}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//drlint:ignore floatcmp
+var x = 1
+`)
+	diags := RunPackages([]*Package{pkg}, All())
+	if len(diags) != 1 || diags[0].Rule != "drlint" || !strings.Contains(diags[0].Message, "malformed") {
+		t.Fatalf("want one malformed-directive finding, got %v", diags)
+	}
+}
+
+func TestDirectiveRequiresReason(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//drlint:ignore
+var x = 1
+`)
+	diags := RunPackages([]*Package{pkg}, All())
+	if len(diags) != 1 || diags[0].Rule != "drlint" {
+		t.Fatalf("want one malformed-directive finding, got %v", diags)
+	}
+}
+
+func TestDirectiveSameLineSuppresses(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+func cmp(a, b float64) bool {
+	return a == b //drlint:ignore floatcmp exactness intended here
+}
+`)
+	if diags := RunPackages([]*Package{pkg}, []*Analyzer{FloatCmp}); len(diags) != 0 {
+		t.Fatalf("same-line directive did not suppress: %v", diags)
+	}
+}
+
+func TestDirectiveMultiRule(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+import "math/rand"
+
+func draw(a, b float64) float64 {
+	//drlint:ignore globalrand,floatcmp one directive may cover several rules
+	if a != b && rand.Float64() > 0.5 {
+		return a
+	}
+	return b
+}
+`)
+	if diags := RunPackages([]*Package{pkg}, All()); len(diags) != 0 {
+		t.Fatalf("multi-rule directive did not suppress: %v", diags)
+	}
+}
+
+func TestDirectiveDoesNotLeakToOtherLines(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+func cmp(a, b float64) bool {
+	//drlint:ignore floatcmp covers only the next line
+	_ = a == b
+	return a != b
+}
+`)
+	diags := RunPackages([]*Package{pkg}, []*Analyzer{FloatCmp})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the uncovered comparison reported, got %v", diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName([]string{"floatcmp", "dimguard"})
+	if err != nil || len(got) != 2 || got[0] != FloatCmp || got[1] != DimGuard {
+		t.Fatalf("ByName: got %v, %v", got, err)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName accepted an unknown rule")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Rule:    "floatcmp",
+		Message: "msg",
+	}
+	if got, want := d.String(), "a/b.go:3:7: [floatcmp] msg"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("want at least 4 analyzers, got %d", len(seen))
+	}
+}
+
+func TestLoadSkipsTestdata(t *testing.T) {
+	pkgs, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Fatalf("Load descended into %s", p.Dir)
+		}
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load found no packages")
+	}
+}
+
+func ExampleDiagnostic() {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "internal/knn/knn.go", Line: 88, Column: 18},
+		Rule:    "floatcmp",
+		Message: "floating-point != comparison",
+	}
+	fmt.Println(d)
+	// Output: internal/knn/knn.go:88:18: [floatcmp] floating-point != comparison
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DimGuard enforces the invariant PR 2 created when it hoisted per-pair
+// length checks out of the scan loops: every exported function in the
+// numeric kernel packages that accepts two or more vector ([]float64) or
+// matrix (*Dense and friends) parameters must validate their dimensions —
+// via a guard helper or an explicit len()/Rows()/Cols() check — before it
+// starts indexing into them. A kernel that skips the guard turns a caller's
+// dimension mismatch into a silent wrong answer or an out-of-range panic
+// deep inside a blocked loop.
+var DimGuard = &Analyzer{
+	Name: "dimguard",
+	Doc:  "exported numeric kernels taking ≥2 vector/matrix parameters must validate dimensions before indexing",
+	Run:  runDimGuard,
+}
+
+// dimGuardPackages are the import-path suffixes the rule applies to: the
+// packages whose exported functions are dimension-sensitive hot kernels.
+var dimGuardPackages = []string{"internal/linalg", "internal/knn"}
+
+// dimGuardHelpers are recognized guard helpers: a plain or method call to
+// any of these names counts as dimension validation.
+var dimGuardHelpers = map[string]bool{
+	"checkLens":     true,
+	"checkLen":      true,
+	"checkIndex":    true,
+	"checkSameDims": true,
+	"checkDims":     true,
+}
+
+func dimGuardApplies(path string) bool {
+	for _, suffix := range dimGuardPackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isVectorType reports whether the parameter type is []float64.
+func isVectorType(t ast.Expr) bool {
+	arr, ok := t.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	id, ok := arr.Elt.(*ast.Ident)
+	return ok && (id.Name == "float64" || id.Name == "float32")
+}
+
+// isMatrixType reports whether the parameter type is a (pointer to a)
+// matrix-like named type: Dense or anything ending in "Matrix".
+func isMatrixType(t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if sel, ok := t.(*ast.SelectorExpr); ok {
+		t = sel.Sel
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && (id.Name == "Dense" || strings.HasSuffix(id.Name, "Matrix"))
+}
+
+// dimParam is one tracked parameter of a function under the rule.
+type dimParam struct {
+	name   string
+	matrix bool
+}
+
+func runDimGuard(pass *Pass) {
+	if !dimGuardApplies(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			params := trackedParams(fn)
+			if len(params) < 2 {
+				continue
+			}
+			checkDimGuard(pass, fn, params)
+		}
+	}
+}
+
+func trackedParams(fn *ast.FuncDecl) []dimParam {
+	var out []dimParam
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			vec := isVectorType(field.Type)
+			mat := isMatrixType(field.Type)
+			if !vec && !mat {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				out = append(out, dimParam{name: name.Name, matrix: mat})
+			}
+		}
+	}
+	// The receiver participates: a method on *Dense taking another *Dense
+	// is a two-matrix kernel.
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+	return out
+}
+
+// checkDimGuard reports fn when a tracked parameter is indexed before any
+// dimension validation.
+func checkDimGuard(pass *Pass, fn *ast.FuncDecl, params []dimParam) {
+	byName := map[string]dimParam{}
+	for _, p := range params {
+		byName[p.name] = p
+	}
+
+	guardPos := token.Pos(-1) // earliest validation
+	var firstUse ast.Node     // earliest indexing use
+	var firstUseParam string
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeName(node); dimGuardHelpers[name] {
+				if guardPos == -1 || node.Pos() < guardPos {
+					guardPos = node.Pos()
+				}
+			}
+			// Matrix element/row access counts as an indexing use.
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if p, tracked := byName[id.Name]; tracked && p.matrix && matrixAccessMethods[sel.Sel.Name] {
+						if firstUse == nil || node.Pos() < firstUse.Pos() {
+							firstUse = node
+							firstUseParam = id.Name
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if condValidatesDims(node.Cond, byName) {
+				if guardPos == -1 || node.Pos() < guardPos {
+					guardPos = node.Pos()
+				}
+			}
+		case *ast.IndexExpr:
+			if id, ok := node.X.(*ast.Ident); ok {
+				if _, tracked := byName[id.Name]; tracked {
+					if firstUse == nil || node.Pos() < firstUse.Pos() {
+						firstUse = node
+						firstUseParam = id.Name
+					}
+				}
+			}
+			// p.data[...] on a matrix parameter.
+			if sel, ok := node.X.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if p, tracked := byName[id.Name]; tracked && p.matrix {
+						if firstUse == nil || node.Pos() < firstUse.Pos() {
+							firstUse = node
+							firstUseParam = id.Name
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if firstUse == nil {
+		return // delegates without indexing; the callee owns the guard
+	}
+	if guardPos != -1 && guardPos <= firstUse.Pos() {
+		return
+	}
+	pass.Reportf(firstUse.Pos(),
+		"exported kernel %s indexes parameter %q before validating dimensions (add a length/dims guard or call a check helper first)",
+		fn.Name.Name, firstUseParam)
+}
+
+// matrixAccessMethods are Dense methods that read storage by index and
+// therefore require dimensions to have been validated first.
+var matrixAccessMethods = map[string]bool{
+	"At": true, "Row": true, "RawRow": true, "Col": true,
+}
+
+// calleeName extracts the bare called-function name from fn() or x.fn().
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// condValidatesDims reports whether an if-condition inspects the size of a
+// tracked parameter: len(p) for vectors; p.Rows()/p.Cols()/p.Dims() or the
+// package-internal p.rows/p.cols fields for matrices.
+func condValidatesDims(cond ast.Expr, params map[string]dimParam) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "len" && len(node.Args) == 1 {
+				if arg, ok := node.Args[0].(*ast.Ident); ok {
+					if _, tracked := params[arg.Name]; tracked {
+						found = true
+					}
+				}
+			}
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok && dimMethods[sel.Sel.Name] {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if p, tracked := params[id.Name]; tracked && p.matrix {
+						found = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if dimFields[node.Sel.Name] {
+				if id, ok := node.X.(*ast.Ident); ok {
+					if p, tracked := params[id.Name]; tracked && p.matrix {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+var dimMethods = map[string]bool{"Rows": true, "Cols": true, "Dims": true, "Len": true}
+var dimFields = map[string]bool{"rows": true, "cols": true}

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp forbids == and != between floating-point expressions in non-test
+// code. The coherence probabilities, recall curves, and eigenvalue rankings
+// this repo reproduces are all computed in floating point; an exact
+// equality on such values silently encodes an assumption about rounding
+// that the AVX2/FMA kernels (which round differently from the portable
+// kernels in the last ulps) do not honor. Comparisons against the exact
+// literal 0 are allowed: zero is exactly representable and `x == 0` is the
+// idiomatic degenerate-case guard (division guards, zero-vector checks),
+// not an approximate-equality bug. Anything else — variable against
+// variable, nonzero literals — must go through a tolerance helper
+// (linalg.VecEqual, math.Abs(a-b) <= tol) or carry a justified
+// //drlint:ignore directive (e.g. a deterministic tie-break on values
+// copied from the same computation).
+//
+// The analyzer is deliberately stdlib-syntactic: it types expressions by
+// local inference (float literals, parameters and variables of float type,
+// indexing into []float64, fields and same-package functions declared
+// float) and only reports when an operand is confidently floating-point.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no ==/!= between floating-point expressions outside tests (exact-zero guards excepted)",
+	Run:  runFloatCmp,
+}
+
+// mathFloatFuncs are math.* functions returning float64 that appear in
+// numeric guard positions.
+var mathFloatFuncs = map[string]bool{
+	"Abs": true, "Sqrt": true, "Pow": true, "Exp": true, "Log": true,
+	"Log2": true, "Log10": true, "Floor": true, "Ceil": true, "Round": true,
+	"Trunc": true, "Mod": true, "Hypot": true, "Inf": true, "NaN": true,
+	"Min": true, "Max": true, "Cos": true, "Sin": true, "Tan": true,
+	"Acos": true, "Asin": true, "Atan": true, "Atan2": true, "Gamma": true,
+	"Erf": true, "Erfc": true, "Cbrt": true, "Copysign": true,
+}
+
+// pkgFloatInfo is package-level float knowledge shared by every function:
+// which declared functions/methods return a single float, which struct
+// fields are float, and which are float slices.
+type pkgFloatInfo struct {
+	floatFuncs  map[string]bool // name -> returns exactly one float64/float32
+	floatFields map[string]bool // struct field name -> float
+	vecFields   map[string]bool // struct field name -> []float64
+}
+
+func isFloatIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && (id.Name == "float64" || id.Name == "float32")
+}
+
+func isFloatSliceType(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	return ok && arr.Len == nil && isFloatIdent(arr.Elt)
+}
+
+func collectPkgFloatInfo(files []File) *pkgFloatInfo {
+	info := &pkgFloatInfo{
+		floatFuncs:  map[string]bool{},
+		floatFields: map[string]bool{},
+		vecFields:   map[string]bool{},
+	}
+	for _, f := range files {
+		for _, decl := range f.AST.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				res := d.Type.Results
+				if res != nil && len(res.List) == 1 && len(res.List[0].Names) <= 1 && isFloatIdent(res.List[0].Type) {
+					info.floatFuncs[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							if isFloatIdent(field.Type) {
+								info.floatFields[name.Name] = true
+							}
+							if isFloatSliceType(field.Type) {
+								info.vecFields[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return info
+}
+
+// floatEnv is the per-function inference state.
+type floatEnv struct {
+	pkg       *pkgFloatInfo
+	floatVars map[string]bool // identifier -> float scalar
+	vecVars   map[string]bool // identifier -> []float64
+}
+
+func runFloatCmp(pass *Pass) {
+	files := pass.SourceFiles()
+	info := collectPkgFloatInfo(files)
+	for _, f := range files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			env := &floatEnv{pkg: info, floatVars: map[string]bool{}, vecVars: map[string]bool{}}
+			env.seedFromSignature(fn)
+			env.inferLocals(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				cmp, ok := n.(*ast.BinaryExpr)
+				if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+					return true
+				}
+				if !env.isFloat(cmp.X) && !env.isFloat(cmp.Y) {
+					return true
+				}
+				if isZeroLiteral(cmp.X) || isZeroLiteral(cmp.Y) {
+					return true
+				}
+				pass.Reportf(cmp.OpPos,
+					"floating-point %s comparison; use a tolerance (or suppress with a justified //drlint:ignore if exactness is intended)",
+					cmp.Op)
+				return true
+			})
+		}
+	}
+}
+
+func (env *floatEnv) seedFromSignature(fn *ast.FuncDecl) {
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if isFloatIdent(field.Type) {
+					env.floatVars[name.Name] = true
+				}
+				if isFloatSliceType(field.Type) {
+					env.vecVars[name.Name] = true
+				}
+			}
+		}
+	}
+	seed(fn.Recv)
+	seed(fn.Type.Params)
+	seed(fn.Type.Results) // named results
+}
+
+// inferLocals walks the whole function body once, recording every
+// declaration or assignment that pins an identifier to a float or []float64
+// type. Scoping is flattened: a name that is float anywhere in the function
+// is treated as float everywhere, which is the right bias for a lint that
+// hand-verifies its findings.
+func (env *floatEnv) inferLocals(body ast.Node) {
+	// Iterate to a fixpoint so chains like `c := dot / n; d := c` resolve
+	// regardless of inspection order.
+	for changed := true; changed; {
+		changed = false
+		mark := func(m map[string]bool, name string) {
+			if name != "_" && !m[name] {
+				m[name] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				if len(node.Lhs) != len(node.Rhs) {
+					return true
+				}
+				for i, lhs := range node.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if env.isFloat(node.Rhs[i]) {
+						mark(env.floatVars, id.Name)
+					}
+					if env.isFloatSlice(node.Rhs[i]) {
+						mark(env.vecVars, id.Name)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range node.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if isFloatIdent(vs.Type) || (vs.Type == nil && i < len(vs.Values) && env.isFloat(vs.Values[i])) {
+							mark(env.floatVars, name.Name)
+						}
+						if isFloatSliceType(vs.Type) || (vs.Type == nil && i < len(vs.Values) && env.isFloatSlice(vs.Values[i])) {
+							mark(env.vecVars, name.Name)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil && env.isFloatSlice(node.X) {
+					if id, ok := node.Value.(*ast.Ident); ok {
+						mark(env.floatVars, id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e is confidently a floating-point scalar.
+func (env *floatEnv) isFloat(e ast.Expr) bool {
+	switch node := e.(type) {
+	case *ast.BasicLit:
+		return node.Kind == token.FLOAT
+	case *ast.Ident:
+		return env.floatVars[node.Name]
+	case *ast.ParenExpr:
+		return env.isFloat(node.X)
+	case *ast.UnaryExpr:
+		return (node.Op == token.SUB || node.Op == token.ADD) && env.isFloat(node.X)
+	case *ast.BinaryExpr:
+		switch node.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return env.isFloat(node.X) || env.isFloat(node.Y)
+		}
+		return false
+	case *ast.IndexExpr:
+		return env.isFloatSlice(node.X)
+	case *ast.SelectorExpr:
+		// Qualified math constants and struct float fields.
+		if id, ok := node.X.(*ast.Ident); ok && id.Obj == nil && id.Name == "math" {
+			switch node.Sel.Name {
+			case "Pi", "E", "Sqrt2", "SqrtE", "SqrtPi", "Ln2", "Log2E", "Ln10", "Log10E",
+				"MaxFloat64", "SmallestNonzeroFloat64", "MaxFloat32", "SmallestNonzeroFloat32", "Phi":
+				return true
+			}
+			return false
+		}
+		return env.pkg.floatFields[node.Sel.Name]
+	case *ast.CallExpr:
+		switch fun := node.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "float64" || fun.Name == "float32" {
+				return true
+			}
+			return env.pkg.floatFuncs[fun.Name]
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && id.Obj == nil && id.Name == "math" {
+				return mathFloatFuncs[fun.Sel.Name]
+			}
+			// Same-package method or a selector call on a local value whose
+			// method is declared in this package.
+			return env.pkg.floatFuncs[fun.Sel.Name]
+		}
+		return false
+	}
+	return false
+}
+
+// isFloatSlice reports whether e is confidently a []float64.
+func (env *floatEnv) isFloatSlice(e ast.Expr) bool {
+	switch node := e.(type) {
+	case *ast.Ident:
+		return env.vecVars[node.Name]
+	case *ast.ParenExpr:
+		return env.isFloatSlice(node.X)
+	case *ast.SelectorExpr:
+		return env.pkg.vecFields[node.Sel.Name]
+	case *ast.SliceExpr:
+		return env.isFloatSlice(node.X)
+	case *ast.CallExpr:
+		if id, ok := node.Fun.(*ast.Ident); ok {
+			if id.Name == "make" && len(node.Args) >= 1 && isFloatSliceType(node.Args[0]) {
+				return true
+			}
+			if id.Name == "append" && len(node.Args) >= 1 {
+				return env.isFloatSlice(node.Args[0])
+			}
+		}
+		// Conversions and calls returning []float64 by declaration are not
+		// tracked package-wide; RawRow/Row are the common cases.
+		if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "RawRow", "Row", "Col":
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		return isFloatSliceType(node.Type)
+	}
+	return false
+}
+
+// isZeroLiteral matches the exact constants 0 and 0.0 (optionally signed).
+func isZeroLiteral(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = u.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	switch lit.Kind {
+	case token.INT:
+		return lit.Value == "0"
+	case token.FLOAT:
+		for _, c := range lit.Value {
+			switch c {
+			case '0', '.':
+			case 'e', 'E', '+', '-', '_':
+				// exponent/sign/separators cannot make a zero mantissa nonzero
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

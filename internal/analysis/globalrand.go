@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// GlobalRand enforces the determinism contract of the LSH index and the
+// synthetic generators: every random draw must come from an injected,
+// explicitly seeded *rand.Rand, so that one root seed reproduces an entire
+// experiment bit-for-bit. Two shapes break that contract in non-test code:
+//
+//  1. calls to math/rand's top-level convenience functions (rand.Float64,
+//     rand.Intn, rand.Shuffle, ...), which draw from the shared global
+//     source and are ordering-dependent under concurrency; and
+//  2. rand.NewSource / rand.New(rand.NewSource(...)) with a hardcoded
+//     literal seed inside library code, which pins a stream that callers
+//     can neither vary nor reproduce as part of their own seed plan.
+//
+// Constructors fed a threaded seed (a parameter, config field, or derived
+// value) are the approved pattern. Deliberate fixed constructions — e.g.
+// reproducing a figure from the paper verbatim — carry a justified
+// //drlint:ignore directive instead.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "randomness must flow through an injected seeded *rand.Rand; no global math/rand, no literal seeds in library code",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are the math/rand functions that build sources/streams
+// rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.SourceFiles() {
+		alias := importAlias(f.AST, "math/rand")
+		if alias == "" {
+			alias = importAlias(f.AST, "math/rand/v2")
+		}
+		if alias == "" || alias == "." {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || pkgID.Name != alias || pkgID.Obj != nil {
+				return true
+			}
+			name := sel.Sel.Name
+			if !randConstructors[name] {
+				if ast.IsExported(name) {
+					pass.Reportf(call.Pos(),
+						"call to global %s.%s draws from math/rand's shared source; inject a seeded *rand.Rand instead", alias, name)
+				}
+				return true
+			}
+			if name == "NewSource" && len(call.Args) == 1 && isIntLiteral(call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"hardcoded seed %s: thread the seed from a parameter or config so callers control reproducibility", litText(call.Args[0]))
+			}
+			return true
+		})
+	}
+}
+
+// importAlias returns the name the file refers to importPath by: its alias,
+// the default last path element, "." for dot imports, or "" when the file
+// does not import it.
+func importAlias(f *ast.File, importPath string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// isIntLiteral matches a literal integer seed, including a negated one.
+func isIntLiteral(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = u.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT
+}
+
+func litText(e ast.Expr) string {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		if lit, ok := u.X.(*ast.BasicLit); ok {
+			return u.Op.String() + lit.Value
+		}
+	}
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "<literal>"
+}

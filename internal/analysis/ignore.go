@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix starts a suppression directive comment. The full form is
+//
+//	//drlint:ignore rule1[,rule2...] reason text
+//
+// placed either at the end of the offending line or on the line directly
+// above it. The reason is required: a suppression without a recorded
+// justification is itself a finding.
+const ignorePrefix = "drlint:ignore"
+
+// directive is one parsed //drlint:ignore comment.
+type directive struct {
+	rules  []string
+	reason string
+	line   int
+	pos    token.Pos
+}
+
+func (d directive) covers(rule string) bool {
+	for _, r := range d.rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives extracts every drlint:ignore directive in f, reporting
+// malformed ones (no rule list or no reason) as findings in their own right
+// so a bare, unjustified ignore cannot silently disable a rule.
+func parseDirectives(pkg *Package, f File, report func(Diagnostic)) []directive {
+	var out []directive
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			fields := strings.Fields(rest)
+			pos := pkg.Fset.Position(c.Pos())
+			if len(fields) < 2 {
+				report(Diagnostic{
+					Pos:     pos,
+					Rule:    "drlint",
+					Message: "malformed //drlint:ignore directive: want `//drlint:ignore <rule>[,<rule>] <reason>` with a non-empty reason",
+				})
+				continue
+			}
+			out = append(out, directive{
+				rules:  strings.Split(fields[0], ","),
+				reason: strings.Join(fields[1:], " "),
+				line:   pos.Line,
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// filterIgnored removes diagnostics suppressed by a directive on the same
+// line or the line above, and appends diagnostics for malformed directives.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// fileDirectives: filename -> directives in that file.
+	fileDirectives := map[string][]directive{}
+	var extra []Diagnostic
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.AST.Pos()).Filename
+		fileDirectives[name] = parseDirectives(pkg, f, func(d Diagnostic) { extra = append(extra, d) })
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range fileDirectives[d.Pos.Filename] {
+			if dir.covers(d.Rule) && (dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return append(out, extra...)
+}

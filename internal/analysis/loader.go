@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// modulePath is the import-path prefix of this module (go.mod `module`).
+// The loader is deliberately go.mod-free; a wrong value only affects the
+// Path field analyzers match package identity against.
+const modulePath = "repro"
+
+// Load walks the module rooted at root and parses every Go package
+// directory into a Package. `testdata`, hidden, and vendor directories are
+// skipped, matching the go tool's conventions.
+func Load(root string) ([]*Package, error) {
+	return LoadUnder(root, root)
+}
+
+// LoadUnder is Load restricted to the subtree at dir; package import paths
+// are still computed relative to the module root so path-scoped analyzers
+// (dimguard) resolve identically to a full-module run.
+func LoadUnder(root, dir string) ([]*Package, error) {
+	var dirs []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %w", root, err)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := LoadDir(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses the single directory dir (which must be root or inside it)
+// as one Package, or returns nil when it contains no Go files.
+func LoadDir(root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		rel = dir
+	}
+	pkg := &Package{
+		Dir:  filepath.ToSlash(rel),
+		Path: importPath(rel),
+		Fset: token.NewFileSet(),
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, File{
+			AST:  f,
+			Name: path,
+			Test: strings.HasSuffix(name, "_test.go"),
+		})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+func importPath(rel string) string {
+	rel = filepath.ToSlash(rel)
+	if rel == "." || rel == "" {
+		return modulePath
+	}
+	return modulePath + "/" + rel
+}

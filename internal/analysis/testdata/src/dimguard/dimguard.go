@@ -1,0 +1,105 @@
+// Fixture for the dimguard analyzer. The test harness presents this
+// package under the pretend import path repro/internal/linalg so the
+// path-scoped rule applies.
+package linalg
+
+import "fmt"
+
+// Dense is a minimal stand-in for the real matrix type.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+func (m *Dense) Rows() int           { return m.rows }
+func (m *Dense) Cols() int           { return m.cols }
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+func (m *Dense) RawRow(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+func checkLens(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("len %d vs %d", len(a), len(b)))
+	}
+}
+
+// Bad indexes both vectors with no guard anywhere.
+func Bad(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i] // want "indexes parameter"
+	}
+	return s
+}
+
+// GuardAfterUse validates too late: the first index precedes the check.
+func GuardAfterUse(a, b []float64) float64 {
+	s := a[0] * b[0] // want "indexes parameter"
+	if len(a) != len(b) {
+		panic("len")
+	}
+	return s
+}
+
+// MatBad reads matrix storage with no dimension check.
+func MatBad(a, b *Dense) float64 {
+	return a.At(0, 0) * b.At(0, 0) // want "indexes parameter"
+}
+
+// GoodHelper guards through the recognized helper.
+func GoodHelper(a, b []float64) float64 {
+	checkLens(a, b)
+	return a[0] * b[0]
+}
+
+// GoodIf guards with an explicit length comparison.
+func GoodIf(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("len")
+	}
+	return a[0] + b[0]
+}
+
+// MatGood compares dimensions up front.
+func MatGood(a, b *Dense) float64 {
+	if a.Cols() != b.Cols() {
+		panic("dims")
+	}
+	return a.At(0, 0) * b.At(0, 0)
+}
+
+// MixedGood validates the vector against the matrix's dimension.
+func MixedGood(m *Dense, q []float64) float64 {
+	if len(q) != m.Cols() {
+		panic("dims")
+	}
+	return m.RawRow(0)[0] * q[0]
+}
+
+// Delegate never indexes; the callee owns the guard.
+func Delegate(a, b []float64) float64 {
+	return GoodHelper(a, b)
+}
+
+// unexportedBad is out of scope: the rule covers the exported API surface.
+func unexportedBad(a, b []float64) float64 {
+	return a[0] * b[0]
+}
+
+// OneVector is out of scope: nothing to cross-validate.
+func OneVector(a []float64) float64 {
+	return a[0]
+}
+
+// Suppressed documents an intentionally unguarded kernel.
+func Suppressed(a, b []float64) float64 {
+	//drlint:ignore dimguard fixture: caller-validated hot kernel, guard hoisted by contract
+	return a[0] * b[0]
+}
+
+// WrongRuleNamed shows a directive for a different rule does not suppress.
+func WrongRuleNamed(a, b []float64) float64 {
+	//drlint:ignore floatcmp fixture: names the wrong rule on purpose
+	return a[0] * b[0] // want "indexes parameter"
+}

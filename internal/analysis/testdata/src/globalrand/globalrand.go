@@ -1,0 +1,51 @@
+// Fixture for the globalrand analyzer.
+package fixtures
+
+import "math/rand"
+
+// globalDraw uses the shared source: ordering-dependent, unseedable.
+func globalDraw() float64 {
+	return rand.Float64() // want "global"
+}
+
+// globalShuffle is the same problem through a different entry point.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global"
+}
+
+// hardcodedSeed pins a stream callers cannot vary.
+func hardcodedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "hardcoded seed 42"
+}
+
+// negativeSeed is still a literal.
+func negativeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(-7)) // want "hardcoded seed -7"
+}
+
+// threaded is the approved pattern: the seed flows in from the caller.
+func threaded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// derived seeds computed from a threaded root seed are fine too.
+func derived(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*6364136223846793005 + 1))
+}
+
+// injected draws through a caller-provided stream.
+func injected(rng *rand.Rand) float64 {
+	return rng.NormFloat64()
+}
+
+// shadowed: a local named rand is not the package.
+func shadowed() float64 {
+	rand := struct{ v float64 }{v: 1}
+	return rand.v
+}
+
+// suppressed documents a deliberate fixed stream.
+func suppressed() *rand.Rand {
+	//drlint:ignore globalrand fixture: fixed stream is part of this function's contract
+	return rand.New(rand.NewSource(7))
+}

@@ -1,0 +1,8 @@
+package fixtures
+
+import mr "math/rand"
+
+// aliasedGlobal shows the import alias is tracked.
+func aliasedGlobal() int {
+	return mr.Intn(10) // want "global"
+}

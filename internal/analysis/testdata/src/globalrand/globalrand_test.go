@@ -1,0 +1,14 @@
+package fixtures
+
+import "math/rand"
+
+// Tests are exempt: global draws and literal seeds are fine here, so no
+// diagnostic is expected anywhere in this file.
+func testOnlyGlobals() float64 {
+	rand.Seed(1)
+	return rand.Float64() + float64(rand.Intn(3))
+}
+
+func testOnlySeed() *rand.Rand {
+	return rand.New(rand.NewSource(99))
+}

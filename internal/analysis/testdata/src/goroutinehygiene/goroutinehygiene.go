@@ -1,0 +1,95 @@
+// Fixture for the goroutinehygiene analyzer.
+package fixtures
+
+import "sync"
+
+func work(i int) int { return i * i }
+
+// leak: loop-spawned goroutines with no join whatsoever.
+func leak(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) // want "goroutine launched in a loop"
+	}
+}
+
+// rangeLeak: the same over a range loop, goroutine body is a closure.
+func rangeLeak(xs []int) {
+	for _, x := range xs {
+		go func(x int) { // want "goroutine launched in a loop"
+			work(x)
+		}(x)
+	}
+}
+
+// waitGroupJoin is the canonical panel shape: Add before spawn, Done in the
+// worker, Wait at the end.
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// channelJoin is the result-channel handshake: every worker sends exactly
+// once and the function receives n times.
+func channelJoin(n int) []int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- work(i)
+		}(i)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// singleGoroutine is out of scope: not inside a loop.
+func singleGoroutine() {
+	done := make(chan struct{})
+	go func() {
+		work(1)
+		close(done)
+	}()
+	<-done
+}
+
+// nestedLitLeak: the loop lives in a function literal; the literal is the
+// function judged, and it joins nothing.
+func nestedLitLeak(n int) func() {
+	return func() {
+		for i := 0; i < n; i++ {
+			go work(i) // want "goroutine launched in a loop"
+		}
+	}
+}
+
+// nestedLitJoin: same shape, properly joined inside the literal.
+func nestedLitJoin(n int) func() {
+	return func() {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				work(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+}
+
+// suppressedLeak documents deliberate fire-and-forget.
+func suppressedLeak(n int) {
+	for i := 0; i < n; i++ {
+		//drlint:ignore goroutinehygiene fixture: fire-and-forget telemetry is acceptable here
+		go work(i)
+	}
+}

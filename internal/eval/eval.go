@@ -144,7 +144,9 @@ func (c Curve) Optimal() CurvePoint {
 	}
 	best := c.Points[0]
 	for _, p := range c.Points[1:] {
-		if p.Accuracy > best.Accuracy || (p.Accuracy == best.Accuracy && p.Dims < best.Dims) {
+		// Strictly better accuracy wins; an exact tie (>= once > has
+		// failed) falls to the smaller dimensionality.
+		if p.Accuracy > best.Accuracy || (p.Accuracy >= best.Accuracy && p.Dims < best.Dims) {
 			best = p
 		}
 	}

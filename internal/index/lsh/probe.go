@@ -41,8 +41,11 @@ type candHeap []candSet
 
 func (h candHeap) Len() int { return len(h) }
 func (h candHeap) Less(i, j int) bool {
-	if h[i].score != h[j].score {
-		return h[i].score < h[j].score
+	if h[i].score < h[j].score {
+		return true
+	}
+	if h[i].score > h[j].score {
+		return false
 	}
 	return lexLess(h[i].pos, h[j].pos)
 }
@@ -139,8 +142,11 @@ func sortPerturbations(ps []perturbation) {
 }
 
 func perturbLess(a, b perturbation) bool {
-	if a.score != b.score {
-		return a.score < b.score
+	if a.score < b.score {
+		return true
+	}
+	if a.score > b.score {
+		return false
 	}
 	if a.hash != b.hash {
 		return a.hash < b.hash

@@ -46,6 +46,7 @@ func BuildVAFile(data *linalg.Dense, bits int) *VAFile {
 				hi = x
 			}
 		}
+		//drlint:ignore floatcmp exact degenerate-range check: any nonzero width yields usable cell bounds, only an exactly flat dimension needs widening
 		if hi == lo {
 			hi = lo + 1 // degenerate dimension: one fat cell region
 		}

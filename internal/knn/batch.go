@@ -144,8 +144,11 @@ func SearchSetBatch(data, queries *linalg.Dense, k int, m Metric, selfExclude bo
 			res[t].Dist = m.Distance(data.RawRow(res[t].Index), q)
 		}
 		sort.Slice(res, func(a, b int) bool {
-			if res[a].Dist != res[b].Dist {
-				return res[a].Dist < res[b].Dist
+			if res[a].Dist < res[b].Dist {
+				return true
+			}
+			if res[a].Dist > res[b].Dist {
+				return false
 			}
 			return res[a].Index < res[b].Index
 		})

@@ -85,8 +85,11 @@ func (c *Collector) Results() []Neighbor {
 	out := make([]Neighbor, len(c.heap))
 	copy(out, c.heap)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+		if out[i].Dist < out[j].Dist {
+			return true
+		}
+		if out[i].Dist > out[j].Dist {
+			return false
 		}
 		return out[i].Index < out[j].Index
 	})
@@ -122,6 +125,9 @@ func Search(data *linalg.Dense, query []float64, k int, m Metric, exclude int) [
 // the rows of data. When data and queries share storage (self-search), pass
 // selfExclude = true to skip the identical index.
 func SearchSet(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [][]Neighbor {
+	if queries.Cols() != data.Cols() {
+		panic(fmt.Sprintf("knn: queries have %d dims, data has %d", queries.Cols(), data.Cols()))
+	}
 	out := make([][]Neighbor, queries.Rows())
 	for i := 0; i < queries.Rows(); i++ {
 		ex := -1
@@ -142,6 +148,9 @@ func SearchSet(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [
 // overhead stays negligible even on small-d workloads where a single query
 // is only microseconds of work.
 func SearchSetParallel(data, queries *linalg.Dense, k int, m Metric, selfExclude bool) [][]Neighbor {
+	if queries.Cols() != data.Cols() {
+		panic(fmt.Sprintf("knn: queries have %d dims, data has %d", queries.Cols(), data.Cols()))
+	}
 	nq := queries.Rows()
 	out := make([][]Neighbor, nq)
 	workers := runtime.GOMAXPROCS(0)

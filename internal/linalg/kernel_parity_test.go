@@ -1,0 +1,144 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the contract between the two kernel implementations
+// (kernel_amd64.s dispatched by kernel_amd64.go, and the portable
+// kernel_noasm.go path):
+//
+//   - With hasAVX2FMA forced off, dotUnitary/axpyUnitary must be
+//     bit-identical to dotGeneric/axpyGeneric on every platform. This is
+//     the fallback CI's amd64 runner never takes naturally; forcing the
+//     flag executes it everywhere.
+//   - With the platform's real dispatch, results may differ from the
+//     generic kernels only by FMA rounding — a few ulps relative — never
+//     structurally.
+//
+// Build-tag matrix: kernel_amd64.{go,s} build only on amd64 (dispatch can
+// still select the generic path at runtime via CPUID/XGETBV);
+// kernel_noasm.go builds everywhere else and pins hasAVX2FMA=false. The
+// lengths cover the asmMinLen boundary: below it (1, 7), exactly at a
+// vector-width multiple (16), and a long unaligned tail case (166).
+var parityDims = []int{1, 7, 16, 166}
+
+func forceGeneric(t *testing.T) {
+	t.Helper()
+	saved := hasAVX2FMA
+	hasAVX2FMA = false
+	t.Cleanup(func() { hasAVX2FMA = saved })
+}
+
+func randVec(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDotFallbackExactlyMatchesGeneric(t *testing.T) {
+	forceGeneric(t)
+	rng := rand.New(rand.NewSource(71))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			a, b := randVec(rng, d), randVec(rng, d)
+			got, want := dotUnitary(a, b), dotGeneric(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("d=%d trial=%d: forced-generic dotUnitary=%v, dotGeneric=%v (must be bit-identical)", d, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestAxpyFallbackExactlyMatchesGeneric(t *testing.T) {
+	forceGeneric(t)
+	rng := rand.New(rand.NewSource(73))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			x := randVec(rng, d)
+			y := randVec(rng, d)
+			alpha := rng.NormFloat64()
+			y1 := append([]float64(nil), y...)
+			y2 := append([]float64(nil), y...)
+			axpyUnitary(alpha, x, y1)
+			axpyGeneric(alpha, x, y2)
+			for i := range y1 {
+				if math.Float64bits(y1[i]) != math.Float64bits(y2[i]) {
+					t.Fatalf("d=%d trial=%d i=%d: forced-generic axpyUnitary=%v, axpyGeneric=%v (must be bit-identical)", d, trial, i, y1[i], y2[i])
+				}
+			}
+		}
+	}
+}
+
+// kernelRelTol bounds the divergence the dispatched (possibly FMA) kernel
+// may show against the generic one, relative to the magnitude of the
+// operands (not of the result — cancellation can make the result
+// arbitrarily smaller than the rounding noise each implementation
+// legitimately carries). One FMA skips one rounding per multiply-add, so
+// the drift is a modest multiple of machine epsilon times the operand
+// scale; 1e-14 is ~45 eps, loose enough for the 166-term accumulations and
+// tight enough to catch any structural disagreement.
+const kernelRelTol = 1e-14
+
+func TestDotDispatchedWithinTolOfGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			a, b := randVec(rng, d), randVec(rng, d)
+			scale := 0.0
+			for i := range a {
+				scale += math.Abs(a[i] * b[i])
+			}
+			got, want := dotUnitary(a, b), dotGeneric(a, b)
+			if err := math.Abs(got - want); err > kernelRelTol*(scale+1) {
+				t.Fatalf("d=%d trial=%d: dispatched dot %v vs generic %v (err %g, operand scale %g)", d, trial, got, want, err, scale)
+			}
+		}
+	}
+}
+
+func TestAxpyDispatchedWithinTolOfGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			x := randVec(rng, d)
+			y := randVec(rng, d)
+			alpha := rng.NormFloat64()
+			y1 := append([]float64(nil), y...)
+			y2 := append([]float64(nil), y...)
+			axpyUnitary(alpha, x, y1)
+			axpyGeneric(alpha, x, y2)
+			for i := range y1 {
+				scale := math.Abs(y[i]) + math.Abs(alpha*x[i])
+				if err := math.Abs(y1[i] - y2[i]); err > kernelRelTol*(scale+1) {
+					t.Fatalf("d=%d trial=%d i=%d: dispatched axpy %v vs generic %v (err %g, operand scale %g)", d, trial, i, y1[i], y2[i], err, scale)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelEdgeValues checks both paths agree bitwise on edge values the
+// norm-cache identity actually feeds them: zeros, exact cancellations,
+// subnormals, and huge magnitudes. All cases are shorter than asmMinLen, so
+// the dispatcher must route them to the generic kernel on every platform —
+// equality here proves the short-vector path never enters the asm.
+func TestKernelEdgeValues(t *testing.T) {
+	cases := [][2][]float64{
+		{{0, 0, 0, 0}, {1, 2, 3, 4}},
+		{{1, -1, 1, -1}, {1, 1, 1, 1}},
+		{{math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64}, {1, 1}},
+		{{1e308, -1e308}, {1, 1}},
+	}
+	for i, c := range cases {
+		got, want := dotUnitary(c[0], c[1]), dotGeneric(c[0], c[1])
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("case %d: short-vector dot %v vs generic %v must be bit-identical", i, got, want)
+		}
+	}
+}

@@ -76,6 +76,7 @@ func completeBasis(v *linalg.Dense, d int) *linalg.Dense {
 	}
 	// Orthogonalize standard basis vectors against everything chosen so
 	// far, using a deterministic perturbation stream for degenerate cases.
+	//drlint:ignore globalrand the fixed stream is the function's documented determinism contract: completeBasis must return the same basis on every call
 	rng := rand.New(rand.NewSource(1))
 	col := r
 	for e := 0; e < d && col < d; e++ {

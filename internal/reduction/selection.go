@@ -50,8 +50,11 @@ func (p *PCA) Order(o Ordering) []int {
 		}
 		sort.SliceStable(idx, func(a, b int) bool {
 			ia, ib := idx[a], idx[b]
-			if p.Coherence[ia] != p.Coherence[ib] {
-				return p.Coherence[ia] > p.Coherence[ib]
+			if p.Coherence[ia] > p.Coherence[ib] {
+				return true
+			}
+			if p.Coherence[ia] < p.Coherence[ib] {
+				return false
 			}
 			return p.Eigenvalues[ia] > p.Eigenvalues[ib]
 		})

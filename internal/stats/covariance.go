@@ -173,6 +173,7 @@ func Ranks(xs []float64) []float64 {
 	i := 0
 	for i < n {
 		j := i
+		//drlint:ignore floatcmp tied ranks are exact duplicates by definition (Spearman averaging applies only to bit-identical values)
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

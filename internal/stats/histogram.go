@@ -86,6 +86,7 @@ func (h *Histogram) Mode() float64 {
 // FromData builds a histogram over the range of xs with the given bin count.
 func FromData(xs []float64, bins int) *Histogram {
 	min, max := MinMax(xs)
+	//drlint:ignore floatcmp exact degenerate-data check: only an exactly constant sample needs an artificial range
 	if min == max {
 		// Degenerate data: widen the range so the histogram is valid.
 		min -= 0.5

@@ -40,6 +40,7 @@ func (n Normal) Quantile(p float64) float64 {
 	switch {
 	case p == 0:
 		return math.Inf(-1)
+	//drlint:ignore floatcmp IEEE-exact endpoint: only exactly 1 maps to +Inf, anything below goes through Erfinv
 	case p == 1:
 		return math.Inf(1)
 	case p < 0 || p > 1:

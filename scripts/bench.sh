@@ -10,6 +10,14 @@ cd "$(dirname "$0")/.."
 out=${1:-BENCH_knn.json}
 benchtime=${2:-5x}
 
+# Never record numbers from a tree that violates the repo's own invariants:
+# an unguarded kernel or a global-rand call site makes the measurement
+# unreproducible, so the JSON would be untrustworthy.
+if ! go run ./cmd/drlint ./...; then
+  echo "bench.sh: drlint found violations; refusing to record benchmarks" >&2
+  exit 1
+fi
+
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
