@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/linalg"
+	"repro/internal/serve"
+)
+
+// This file exposes the concurrent serving layer: a sharded query engine
+// over the exact batch-distance path and the approximate LSH path, with
+// admission control, atomic snapshot swaps and a closed-loop load
+// generator. `drtool -serve-bench` is the CLI front end.
+
+// Engine is a sharded, concurrent k-NN query engine. Data is partitioned
+// into shards, each with its own cached norms and LSH tables; queries fan
+// out over a fixed worker pool and per-shard top-k results merge under the
+// canonical (distance, index) order, so exact answers are bit-identical to
+// SearchSetBatch.
+type Engine = serve.Engine
+
+// ServeConfig configures NewEngine (shard count, worker pools, admission
+// queue depth, degradation watermark and the per-shard LSH layout).
+type ServeConfig = serve.Config
+
+// ServeResult is one answered query: neighbors, the path that served it,
+// the snapshot epoch, and queue/total timings.
+type ServeResult = serve.Result
+
+// ServeMode selects the search path per request.
+type ServeMode = serve.Mode
+
+// Serve modes: ModeAuto lets admission control degrade exact to approximate
+// under load; ModeExact and ModeApprox pin the path.
+const (
+	ModeAuto   = serve.ModeAuto
+	ModeExact  = serve.ModeExact
+	ModeApprox = serve.ModeApprox
+)
+
+// EngineStats is a point-in-time snapshot of an engine's counters,
+// including fixed-bucket latency percentiles.
+type EngineStats = serve.EngineStats
+
+// Typed serving errors: admission control rejects with ErrOverloaded when
+// the request queue is full; ErrDeadline wraps context expiry; ErrClosed
+// marks requests after Close; ErrDims marks query/engine dimension
+// mismatches.
+var (
+	ErrOverloaded = serve.ErrOverloaded
+	ErrDeadline   = serve.ErrDeadline
+	ErrClosed     = serve.ErrClosed
+	ErrDims       = serve.ErrDims
+)
+
+// NewEngine builds a sharded engine over the rows of data.
+func NewEngine(data *Matrix, cfg ServeConfig) (*Engine, error) { return serve.New(data, cfg) }
+
+// ServeSearch answers one exact-or-degraded query through an engine
+// (shorthand for SearchMode with ModeAuto).
+func ServeSearch(ctx context.Context, e *Engine, query []float64, k int) (ServeResult, error) {
+	return e.Search(ctx, query, k)
+}
+
+// LoadConfig parameterizes RunLoad: total queries, closed-loop client
+// count, optional aggregate QPS throttle, per-request deadline, neighbor
+// count and search mode.
+type LoadConfig = serve.LoadConfig
+
+// LoadReport is the outcome accounting of one RunLoad; Lost and Duplicated
+// must be zero on a correct engine.
+type LoadReport = serve.LoadReport
+
+// RunLoad drives an engine with a closed-loop client fleet cycling through
+// the query rows and accounts for every request's outcome.
+func RunLoad(e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, error) {
+	return serve.RunLoad(e, queries, cfg)
+}
+
+// MuskLikeConfig is the generator configuration behind MuskLike with N left
+// adjustable: set N to carve a database-scale workload (the serving
+// benchmark uses n = 6598 data rows at d = 166 plus held-out queries).
+func MuskLikeConfig(seed int64) LatentFactorConfig { return synthetic.MuskLikeConfig(seed) }

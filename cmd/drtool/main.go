@@ -8,6 +8,10 @@
 //	       [-k N | -threshold F | -energy F | -floor F] [-out reduced.csv] [-report]
 //	       [-index kdtree|vafile|rtree|idistance|lsh] [-neighbors K]
 //	       [-queries N] [-tables L] [-probes T]
+//	drtool -serve-bench [-in data.csv] [-serve-queries N] [-serve-concurrency C]
+//	       [-serve-shards P] [-serve-workers W] [-serve-queue Q] [-serve-qps R]
+//	       [-serve-deadline MS] [-serve-mode auto|exact|approx] [-serve-verify N]
+//	       [-serve-seed S] [-serve-out report.json]
 //
 // The input's label column (default: last) is the semantic class used by the
 // feature-stripped quality measurement; it is never part of the features.
@@ -45,6 +49,19 @@ type options struct {
 	queries   int
 	tables    int
 	probes    int
+
+	serveBench       bool
+	serveQueries     int
+	serveConcurrency int
+	serveShards      int
+	serveWorkers     int
+	serveQueue       int
+	serveQPS         float64
+	serveDeadlineMS  float64
+	serveMode        string
+	serveVerify      int
+	serveSeed        int64
+	serveOut         string
 }
 
 func main() {
@@ -65,8 +82,27 @@ func main() {
 	flag.IntVar(&o.queries, "queries", 25, "query count for the index benchmark")
 	flag.IntVar(&o.tables, "tables", 0, "lsh: hash tables (0 = default)")
 	flag.IntVar(&o.probes, "probes", 16, "lsh: buckets probed per table")
+	flag.BoolVar(&o.serveBench, "serve-bench", false, "benchmark the sharded query engine (without -in, generates the musk-like n=6598 d=166 workload)")
+	flag.IntVar(&o.serveQueries, "serve-queries", 10000, "serve-bench: total requests")
+	flag.IntVar(&o.serveConcurrency, "serve-concurrency", 32, "serve-bench: closed-loop clients")
+	flag.IntVar(&o.serveShards, "serve-shards", 0, "serve-bench: engine shards (0 = GOMAXPROCS)")
+	flag.IntVar(&o.serveWorkers, "serve-workers", 0, "serve-bench: request workers (0 = 2*GOMAXPROCS)")
+	flag.IntVar(&o.serveQueue, "serve-queue", 0, "serve-bench: admission queue depth (0 = default)")
+	flag.Float64Var(&o.serveQPS, "serve-qps", 0, "serve-bench: aggregate request rate (0 = unthrottled)")
+	flag.Float64Var(&o.serveDeadlineMS, "serve-deadline", 0, "serve-bench: per-request deadline in ms (0 = none)")
+	flag.StringVar(&o.serveMode, "serve-mode", "auto", "serve-bench: search path — auto, exact or approx")
+	flag.IntVar(&o.serveVerify, "serve-verify", 64, "serve-bench: queries checked bit-identical to SearchSetBatch")
+	flag.Int64Var(&o.serveSeed, "serve-seed", 1, "serve-bench: workload and LSH seed")
+	flag.StringVar(&o.serveOut, "serve-out", "", "serve-bench: write a JSON report here (e.g. BENCH_serve.json)")
 	flag.Parse()
 
+	if o.serveBench {
+		if err := runServeBench(os.Stdout, o); err != nil {
+			fmt.Fprintf(os.Stderr, "drtool: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if o.in == "" {
 		fmt.Fprintln(os.Stderr, "drtool: -in is required")
 		flag.Usage()

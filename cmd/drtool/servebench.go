@@ -1,0 +1,249 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	repro "repro"
+)
+
+// serveBenchData builds the benchmark workload: either the feature matrix
+// of -in (queries = a held-out prefix reused as the request stream) or,
+// without -in, the database-scale Musk analogue the recall experiments use
+// (n = 6598 data rows at d = 166, plus held-out query rows), so the
+// acceptance workload needs no external files.
+func serveBenchData(o options) (data, queries *repro.Matrix, name string, err error) {
+	const nQueries = 128
+	if o.in != "" {
+		f, err := os.Open(o.in)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		defer f.Close()
+		ds, err := repro.ReadCSV(f, o.in, repro.CSVOptions{HasHeader: o.header, LabelColumn: o.labelCol})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		nq := nQueries
+		if nq > ds.N() {
+			nq = ds.N()
+		}
+		rows := make([]int, nq)
+		for i := range rows {
+			rows[i] = i
+		}
+		return ds.X, ds.X.SliceRows(rows), ds.Name, nil
+	}
+
+	const nData = 6598
+	gen := repro.MuskLikeConfig(o.serveSeed)
+	gen.N = nData + nQueries
+	all, err := repro.Generate(gen)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	dataRows := make([]int, nData)
+	for i := range dataRows {
+		dataRows[i] = i
+	}
+	queryRows := make([]int, nQueries)
+	for i := range queryRows {
+		queryRows[i] = nData + i
+	}
+	return all.X.SliceRows(dataRows), all.X.SliceRows(queryRows), "musk-like", nil
+}
+
+// serveBenchReport is the JSON record `-serve-out` writes, designed to sit
+// alongside BENCH_knn.json: the workload, the engine layout, the load
+// generator's outcome accounting, the engine's own counters, and the
+// bit-identity verification verdict.
+type serveBenchReport struct {
+	Dataset     string  `json:"dataset"`
+	N           int     `json:"n"`
+	Dims        int     `json:"dims"`
+	K           int     `json:"k"`
+	Mode        string  `json:"mode"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	QueueCap    int     `json:"queue_cap"`
+	Queries     int     `json:"queries"`
+	Concurrency int     `json:"concurrency"`
+	QPS         float64 `json:"qps,omitempty"`
+	DeadlineMS  float64 `json:"deadline_ms,omitempty"`
+
+	Served           int     `json:"served"`
+	Exact            int     `json:"exact"`
+	Approx           int     `json:"approx"`
+	Degraded         int     `json:"degraded"`
+	Overloaded       int     `json:"overloaded"`
+	DeadlineExceeded int     `json:"deadline_exceeded"`
+	OtherErrors      int     `json:"other_errors"`
+	Lost             int     `json:"lost"`
+	Duplicated       int     `json:"duplicated"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+	Throughput       float64 `json:"throughput_qps"`
+	MeanWaitUS       float64 `json:"mean_wait_us"`
+	LatencyP50US     float64 `json:"latency_p50_us"`
+	LatencyP99US     float64 `json:"latency_p99_us"`
+
+	VerifiedQueries int  `json:"verified_queries"`
+	BitIdentical    bool `json:"bit_identical"`
+}
+
+// runServeBench is the `drtool -serve-bench` entry point: build the sharded
+// engine over the workload, verify its exact path bit-identical to the
+// single-threaded batch engine on a query sample, drive it with the load
+// generator, and report outcome accounting plus latency percentiles.
+func runServeBench(w io.Writer, o options) error {
+	data, queries, name, err := serveBenchData(o)
+	if err != nil {
+		return err
+	}
+
+	mode := repro.ModeAuto
+	switch o.serveMode {
+	case "", "auto":
+	case "exact":
+		mode = repro.ModeExact
+	case "approx":
+		mode = repro.ModeApprox
+	default:
+		return fmt.Errorf("unknown -serve-mode %q (auto, exact or approx)", o.serveMode)
+	}
+	if o.neighbors < 1 {
+		return fmt.Errorf("-neighbors %d must be positive", o.neighbors)
+	}
+
+	cfg := repro.ServeConfig{
+		Shards:     o.serveShards,
+		Workers:    o.serveWorkers,
+		QueueDepth: o.serveQueue,
+		Probes:     o.probes,
+		LSH:        repro.LSHConfig{Tables: o.tables, Seed: o.serveSeed},
+	}
+	e, err := repro.NewEngine(data, cfg)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+
+	fmt.Fprintf(w, "serve-bench: %s n=%d d=%d, %d shards, queue %d\n",
+		name, data.Rows(), data.Cols(), e.Shards(), e.Stats().QueueCap)
+
+	// Bit-identity gate: the sharded exact path must reproduce the
+	// single-threaded batch engine answer for answer, bit for bit.
+	nVerify := o.serveVerify
+	if nVerify > queries.Rows() {
+		nVerify = queries.Rows()
+	}
+	identical := true
+	if nVerify > 0 {
+		rows := make([]int, nVerify)
+		for i := range rows {
+			rows[i] = i
+		}
+		sample := queries.SliceRows(rows)
+		want := repro.SearchSetBatch(data, sample, o.neighbors, repro.Euclidean{}, false)
+		for i := 0; i < nVerify && identical; i++ {
+			res, err := e.SearchMode(context.Background(), sample.RawRow(i), o.neighbors, repro.ModeExact)
+			if err != nil {
+				return fmt.Errorf("verify query %d: %w", i, err)
+			}
+			if len(res.Neighbors) != len(want[i]) {
+				identical = false
+				break
+			}
+			for j := range want[i] {
+				if res.Neighbors[j] != want[i][j] {
+					identical = false
+					break
+				}
+			}
+		}
+		status := "bit-identical to SearchSetBatch"
+		if !identical {
+			status = "MISMATCH against SearchSetBatch"
+		}
+		fmt.Fprintf(w, "verified %d exact queries: %s\n", nVerify, status)
+	}
+
+	load := repro.LoadConfig{
+		Queries:     o.serveQueries,
+		Concurrency: o.serveConcurrency,
+		QPS:         o.serveQPS,
+		Deadline:    time.Duration(o.serveDeadlineMS * float64(time.Millisecond)),
+		K:           o.neighbors,
+		Mode:        mode,
+	}
+	rep, err := repro.RunLoad(e, queries, load)
+	if err != nil {
+		return err
+	}
+	st := e.Stats()
+
+	fmt.Fprintf(w, "load: %d queries, concurrency %d, mode %s\n", rep.Queries, rep.Concurrency, rep.Mode)
+	fmt.Fprintf(w, "  served %d (exact %d, approx %d, degraded %d)\n", rep.Served, rep.Exact, rep.Approx, rep.Degraded)
+	fmt.Fprintf(w, "  rejected: overloaded %d, deadline %d, other %d; lost %d, duplicated %d\n",
+		rep.Overloaded, rep.DeadlineExceeded, rep.OtherErrors, rep.Lost, rep.Duplicated)
+	fmt.Fprintf(w, "  elapsed %v, %.0f served/s, mean wait %v\n", rep.Elapsed.Round(time.Millisecond), rep.Throughput, rep.MeanWait)
+	fmt.Fprintf(w, "  latency p50 %v, p99 %v\n", st.LatencyP50, st.LatencyP99)
+
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		return fmt.Errorf("serve-bench: %d lost and %d duplicated responses", rep.Lost, rep.Duplicated)
+	}
+	if !identical {
+		return fmt.Errorf("serve-bench: sharded exact results diverged from SearchSetBatch")
+	}
+
+	if o.serveOut != "" {
+		js := serveBenchReport{
+			Dataset:          name,
+			N:                data.Rows(),
+			Dims:             data.Cols(),
+			K:                o.neighbors,
+			Mode:             rep.Mode,
+			Shards:           e.Shards(),
+			Workers:          o.serveWorkers,
+			QueueCap:         st.QueueCap,
+			Queries:          rep.Queries,
+			Concurrency:      rep.Concurrency,
+			QPS:              o.serveQPS,
+			DeadlineMS:       o.serveDeadlineMS,
+			Served:           rep.Served,
+			Exact:            rep.Exact,
+			Approx:           rep.Approx,
+			Degraded:         rep.Degraded,
+			Overloaded:       rep.Overloaded,
+			DeadlineExceeded: rep.DeadlineExceeded,
+			OtherErrors:      rep.OtherErrors,
+			Lost:             rep.Lost,
+			Duplicated:       rep.Duplicated,
+			ElapsedMS:        float64(rep.Elapsed) / float64(time.Millisecond),
+			Throughput:       rep.Throughput,
+			MeanWaitUS:       float64(rep.MeanWait) / float64(time.Microsecond),
+			LatencyP50US:     float64(st.LatencyP50) / float64(time.Microsecond),
+			LatencyP99US:     float64(st.LatencyP99) / float64(time.Microsecond),
+			VerifiedQueries:  nVerify,
+			BitIdentical:     identical,
+		}
+		f, err := os.Create(o.serveOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(js); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.serveOut)
+	}
+	return nil
+}

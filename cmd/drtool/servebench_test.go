@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// serveBenchOptions is a CLI configuration small enough for CI: the
+// synthetic musk-like workload with a modest request count.
+func serveBenchOptions() options {
+	return options{
+		labelCol:         -1,
+		neighbors:        5,
+		probes:           16,
+		serveBench:       true,
+		serveQueries:     300,
+		serveConcurrency: 8,
+		serveVerify:      8,
+		serveMode:        "auto",
+		serveSeed:        1,
+	}
+}
+
+func TestServeBenchSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "serve.json")
+	o := serveBenchOptions()
+	o.serveOut = out
+	var buf bytes.Buffer
+	if err := runServeBench(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bit-identical to SearchSetBatch") {
+		t.Fatalf("missing verification verdict in output:\n%s", buf.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 6598 || rep.Dims != 166 {
+		t.Fatalf("workload %dx%d, want 6598x166", rep.N, rep.Dims)
+	}
+	if !rep.BitIdentical || rep.VerifiedQueries != 8 {
+		t.Fatalf("verification: identical=%v over %d queries", rep.BitIdentical, rep.VerifiedQueries)
+	}
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Fatalf("%d lost, %d duplicated", rep.Lost, rep.Duplicated)
+	}
+	total := rep.Served + rep.Overloaded + rep.DeadlineExceeded + rep.OtherErrors
+	if total != rep.Queries {
+		t.Fatalf("accounting hole: %d outcomes for %d requests", total, rep.Queries)
+	}
+}
+
+func TestServeBenchCSVInput(t *testing.T) {
+	o := serveBenchOptions()
+	o.in = writeTestCSV(t)
+	o.serveQueries = 100
+	o.serveMode = "exact"
+	o.serveVerify = 4
+	var buf bytes.Buffer
+	if err := runServeBench(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "served") {
+		t.Fatalf("no load summary in output:\n%s", buf.String())
+	}
+}
+
+func TestServeBenchModes(t *testing.T) {
+	for _, mode := range []string{"exact", "approx"} {
+		t.Run(mode, func(t *testing.T) {
+			o := serveBenchOptions()
+			o.in = writeTestCSV(t)
+			o.serveQueries = 60
+			o.serveMode = mode
+			o.serveVerify = 2
+			if err := runServeBench(new(bytes.Buffer), o); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestServeBenchErrors(t *testing.T) {
+	o := serveBenchOptions()
+	o.serveMode = "bogus"
+	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+		t.Fatalf("bogus mode accepted")
+	}
+	o = serveBenchOptions()
+	o.neighbors = 0
+	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+		t.Fatalf("zero neighbors accepted")
+	}
+	o = serveBenchOptions()
+	o.in = filepath.Join(t.TempDir(), "missing.csv")
+	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+		t.Fatalf("missing input accepted")
+	}
+	o = serveBenchOptions()
+	o.serveOut = filepath.Join(t.TempDir(), "no", "such", "dir.json")
+	o.serveQueries = 40
+	o.serveVerify = 1
+	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+		t.Fatalf("unwritable report path accepted")
+	}
+}

@@ -55,6 +55,12 @@ func ReadARFF(r io.Reader, fallbackName string) (*Dataset, error) {
 			}
 			continue
 		}
+		if strings.HasPrefix(line, "{") {
+			// Weka's sparse data format ({index value, ...}) stores only the
+			// nonzero entries; the paper's workloads are dense throughout, so
+			// reject it explicitly rather than mis-parse it as a short row.
+			return nil, fmt.Errorf("dataset: arff sparse data row %q is not supported; use dense rows", line)
+		}
 		rows = append(rows, strings.Split(line, ","))
 	}
 	if err := sc.Err(); err != nil {

@@ -60,6 +60,19 @@ func FuzzReadARFF(f *testing.F) {
 	f.Add("@attribute only numeric\n")
 	f.Add("@relation r\n@attribute a {p,q}\n@attribute c {x,y}\n@data\np,x\nq,y\n")
 	f.Add("@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n?,x\n")
+	// Quoted attribute names — terminated, unterminated, and mixed quotes.
+	f.Add("@relation 'my rel'\n@attribute \"dotted.name\" numeric\n@attribute 'the class' {x,y}\n@data\n3,y\n")
+	f.Add("@relation r\n@attribute 'unterminated numeric\n@attribute c {x}\n@data\n1,x\n")
+	f.Add("@relation r\n@attribute \"mixed' real\n@attribute c {x}\n@data\n1,x\n")
+	// Weka sparse data format: explicitly unsupported, must error cleanly.
+	f.Add("@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n{0 1, 1 x}\n")
+	f.Add("@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n{}\n")
+	// Truncated files: header only, cut mid-declaration, cut mid-row.
+	f.Add("@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n")
+	f.Add("@relation r\n@attribute a num")
+	f.Add("@relation r\n@attribute a numeric\n@attribute c {x,y\n@data\n1,x\n")
+	f.Add("@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n1,\n")
+	f.Add("@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n1")
 	f.Fuzz(func(t *testing.T, data string) {
 		ds, err := ReadARFF(strings.NewReader(data), "fuzz")
 		if err != nil {

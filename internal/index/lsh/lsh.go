@@ -310,12 +310,7 @@ func (ix *Index) KNNApprox(query []float64, k, probes int) ([]knn.Neighbor, inde
 	for i := range res {
 		res[i].Dist = e.Distance(ix.data.RawRow(res[i].Index), query)
 	}
-	sort.Slice(res, func(a, b int) bool {
-		if res[a].Dist != res[b].Dist {
-			return res[a].Dist < res[b].Dist
-		}
-		return res[a].Index < res[b].Index
-	})
+	knn.SortNeighbors(res)
 	return res, stats
 }
 

@@ -3,7 +3,6 @@ package knn
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/linalg"
@@ -143,15 +142,7 @@ func SearchSetBatch(data, queries *linalg.Dense, k int, m Metric, selfExclude bo
 		for t := range res {
 			res[t].Dist = m.Distance(data.RawRow(res[t].Index), q)
 		}
-		sort.Slice(res, func(a, b int) bool {
-			if res[a].Dist < res[b].Dist {
-				return true
-			}
-			if res[a].Dist > res[b].Dist {
-				return false
-			}
-			return res[a].Index < res[b].Index
-		})
+		SortNeighbors(res)
 		out[i] = res
 	})
 	return out

@@ -79,20 +79,33 @@ func (c *Collector) Worst() float64 {
 // Full reports whether k candidates have been admitted.
 func (c *Collector) Full() bool { return len(c.heap) == c.k }
 
+// LessNeighbor is the canonical result ordering shared by every search
+// path: ascending distance, exact-distance ties broken by ascending index.
+// The three-way comparison avoids == on floats while still defining a total
+// order, so independently produced neighbor lists (scalar scan, batch
+// engine, per-shard merges) sort identically.
+func LessNeighbor(a, b Neighbor) bool {
+	if a.Dist < b.Dist {
+		return true
+	}
+	if a.Dist > b.Dist {
+		return false
+	}
+	return a.Index < b.Index
+}
+
+// SortNeighbors sorts a neighbor list in the canonical (distance, index)
+// order.
+func SortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool { return LessNeighbor(ns[i], ns[j]) })
+}
+
 // Results returns the collected neighbors sorted by ascending distance
 // (ties broken by index for determinism).
 func (c *Collector) Results() []Neighbor {
 	out := make([]Neighbor, len(c.heap))
 	copy(out, c.heap)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist < out[j].Dist {
-			return true
-		}
-		if out[i].Dist > out[j].Dist {
-			return false
-		}
-		return out[i].Index < out[j].Index
-	})
+	SortNeighbors(out)
 	return out
 }
 

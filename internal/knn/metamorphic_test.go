@@ -1,0 +1,147 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// Metamorphic relations of exact Euclidean k-NN: transformations of the
+// inputs with a known effect on the answer. Each relation is checked
+// against both the scalar path (SearchSet) and the batch-distance engine
+// (SearchSetBatch); distances must agree to 1e-12 and ids exactly, which in
+// practice means the relations hold bit-for-bit for these transforms
+// (negation and zero-padding are exact in IEEE float arithmetic).
+
+const metamorphicTol = 1e-12
+
+// metaData builds the shared seeded workload.
+func metaData(t *testing.T) (data, queries *linalg.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	fill := func(n, d int) *linalg.Dense {
+		m := linalg.NewDense(n, d)
+		for i := 0; i < n; i++ {
+			row := m.RawRow(i)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		return m
+	}
+	return fill(400, 21), fill(50, 21)
+}
+
+// searchPaths runs every exact query path under test.
+func searchPaths(data, queries *linalg.Dense, k int) map[string][][]Neighbor {
+	return map[string][][]Neighbor{
+		"SearchSet":      SearchSet(data, queries, k, Euclidean{}, false),
+		"SearchSetBatch": SearchSetBatch(data, queries, k, Euclidean{}, false),
+	}
+}
+
+// assertSameNeighbors compares two result sets: identical ids, distances
+// within metamorphicTol.
+func assertSameNeighbors(t *testing.T, label string, got, want [][]Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d queries, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: query %d has %d neighbors, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j].Index != want[i][j].Index {
+				t.Errorf("%s: query %d rank %d id %d, want %d", label, i, j, got[i][j].Index, want[i][j].Index)
+				return
+			}
+			if math.Abs(got[i][j].Dist-want[i][j].Dist) > metamorphicTol {
+				t.Errorf("%s: query %d rank %d dist %v, want %v", label, i, j, got[i][j].Dist, want[i][j].Dist)
+				return
+			}
+		}
+	}
+}
+
+// TestMetamorphicRowPermutation: permuting the dataset rows permutes result
+// ids by the same map and changes nothing else.
+func TestMetamorphicRowPermutation(t *testing.T) {
+	data, queries := metaData(t)
+	const k = 9
+	rng := rand.New(rand.NewSource(32))
+	perm := rng.Perm(data.Rows()) // permuted row i = original row perm[i]
+	permuted := data.SliceRows(perm)
+
+	for name, base := range searchPaths(data, queries, k) {
+		got := searchPaths(permuted, queries, k)[name]
+		// Un-permute ids, then restore canonical order (exact ties between
+		// distinct rows would be ordered by the permuted ids).
+		for i := range got {
+			for j := range got[i] {
+				got[i][j].Index = perm[got[i][j].Index]
+			}
+			SortNeighbors(got[i])
+		}
+		assertSameNeighbors(t, name+"/permutation", got, base)
+	}
+}
+
+// TestMetamorphicDimensionNegation: negating one coordinate in data and
+// queries alike is an isometry, so results are unchanged.
+func TestMetamorphicDimensionNegation(t *testing.T) {
+	data, queries := metaData(t)
+	const k = 9
+	negate := func(m *linalg.Dense, col int) *linalg.Dense {
+		out := m.Clone()
+		for i := 0; i < out.Rows(); i++ {
+			out.RawRow(i)[col] *= -1
+		}
+		return out
+	}
+	for _, col := range []int{0, 7, 20} {
+		nd, nq := negate(data, col), negate(queries, col)
+		for name, base := range searchPaths(data, queries, k) {
+			got := searchPaths(nd, nq, k)[name]
+			assertSameNeighbors(t, name+"/negation", got, base)
+		}
+	}
+}
+
+// TestMetamorphicZeroDimension: appending a constant zero coordinate to
+// every point contributes nothing to any distance.
+func TestMetamorphicZeroDimension(t *testing.T) {
+	data, queries := metaData(t)
+	const k = 9
+	pad := func(m *linalg.Dense) *linalg.Dense {
+		out := linalg.NewDense(m.Rows(), m.Cols()+1)
+		for i := 0; i < m.Rows(); i++ {
+			copy(out.RawRow(i), m.RawRow(i))
+		}
+		return out
+	}
+	pd, pq := pad(data), pad(queries)
+	for name, base := range searchPaths(data, queries, k) {
+		got := searchPaths(pd, pq, k)[name]
+		assertSameNeighbors(t, name+"/zero-pad", got, base)
+	}
+}
+
+// TestMetamorphicSelfExclude: the relations hold for leave-one-out
+// self-search too (data == queries, selfExclude).
+func TestMetamorphicSelfExclude(t *testing.T) {
+	data, _ := metaData(t)
+	const k = 5
+	base := SearchSet(data, data, k, Euclidean{}, true)
+	batch := SearchSetBatch(data, data, k, Euclidean{}, true)
+	assertSameNeighbors(t, "selfExclude scalar-vs-batch", batch, base)
+	for i, res := range base {
+		for _, nb := range res {
+			if nb.Index == i {
+				t.Fatalf("query %d returned itself despite selfExclude", i)
+			}
+		}
+	}
+}

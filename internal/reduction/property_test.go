@@ -1,0 +1,247 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset/synthetic"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// Property-based tests: rather than pinning outputs on one example, these
+// assert the mathematical invariants of the reduction layer on seeded
+// random inputs across the dimensionalities the repo's workloads use
+// (d = 7 toy, 16 reduced, 166 musk-like ambient).
+
+var propertyDims = []int{7, 16, 166}
+
+// propMatrix draws an n x d standard-normal matrix.
+func propMatrix(rng *rand.Rand, n, d int) *linalg.Dense {
+	m := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := m.RawRow(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// TestPropertyBasisOrthonormal: for any data and either scaling, the fitted
+// component matrix V satisfies VᵀV = I to 1e-10 — the eigenvectors of a
+// symmetric matrix form an orthonormal basis, and everything downstream
+// (contraction, inverse transforms, coherence scale-invariance) leans on
+// it.
+func TestPropertyBasisOrthonormal(t *testing.T) {
+	const tol = 1e-10
+	for _, d := range propertyDims {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2*d + 50
+			x := propMatrix(rng, n, d)
+			for _, sc := range []Scaling{ScalingNone, ScalingStudentize} {
+				p, err := Fit(x, Options{Scaling: sc})
+				if err != nil {
+					t.Fatalf("d=%d seed=%d scaling=%s: %v", d, seed, sc, err)
+				}
+				gram := linalg.AtA(p.Components)
+				for i := 0; i < d; i++ {
+					for j := 0; j < d; j++ {
+						want := 0.0
+						if i == j {
+							want = 1.0
+						}
+						if math.Abs(gram.At(i, j)-want) > tol {
+							t.Fatalf("d=%d seed=%d scaling=%s: (VᵀV)[%d][%d] = %v, want %v (±%g)",
+								d, seed, sc, i, j, gram.At(i, j), want, tol)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyPCAContraction: projection onto any orthonormal component
+// subset never expands a pairwise distance (with ScalingNone the transform
+// is center + rotate + drop coordinates, and each step is non-expanding).
+// Checked for every prefix size of the eigenvalue ordering and a random
+// subset, over all query/data pairs.
+func TestPropertyPCAContraction(t *testing.T) {
+	for _, d := range propertyDims {
+		rng := rand.New(rand.NewSource(int64(100 + d)))
+		n := 90
+		x := propMatrix(rng, n, d)
+		p, err := Fit(x, Options{Scaling: ScalingNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		origSq := knn.PairwiseSq(x, x)
+
+		// Components are eigenvalue-descending, so prefixes are the usual
+		// retained sets; add a random subset to cover arbitrary selections.
+		subsets := [][]int{}
+		for _, r := range []int{1, d / 2, d} {
+			if r < 1 {
+				r = 1
+			}
+			prefix := make([]int, r)
+			for i := range prefix {
+				prefix[i] = i
+			}
+			subsets = append(subsets, prefix)
+		}
+		subsets = append(subsets, rng.Perm(d)[:1+rng.Intn(d)])
+
+		for _, comps := range subsets {
+			red := p.Transform(x, comps)
+			redSq := knn.PairwiseSq(red, red)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					ro := math.Sqrt(origSq.At(i, j))
+					rr := math.Sqrt(redSq.At(i, j))
+					// Tolerance: rotation arithmetic rounds at float64
+					// scale, so allow a hair above the exact bound.
+					if rr > ro+1e-9*(1+ro) {
+						t.Fatalf("d=%d |comps|=%d: reduced distance %v exceeds original %v at pair (%d,%d)",
+							d, len(comps), rr, ro, i, j)
+					}
+				}
+			}
+			// Keeping every component must preserve distances, not merely
+			// contract them (pure rotation).
+			if len(comps) == d {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						ro, rr := math.Sqrt(origSq.At(i, j)), math.Sqrt(redSq.At(i, j))
+						if math.Abs(ro-rr) > 1e-8*(1+ro) {
+							t.Fatalf("d=%d full rotation changed distance: %v vs %v", d, rr, ro)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyUniformCoherence: the paper's §3 calibration point. For
+// uniform data every per-point coherence factor along a coordinate axis is
+// identically 1 (a single nonzero contribution is its own RMS), so the
+// data-set coherence probability P(D, e_j) must land at 2Φ(1)−1 ≈ 0.683 —
+// the test allows ±0.02, though the identity is in fact exact. Random
+// oblique directions, by contrast, mix d independent contributions and
+// must sit visibly below that calibration value (the "flat profile" that
+// marks uniform data as irreducible).
+func TestPropertyUniformCoherence(t *testing.T) {
+	const (
+		want = 0.6826894921370859 // 2Φ(1)−1
+		tol  = 0.02
+	)
+	for _, d := range propertyDims {
+		for seed := int64(1); seed <= 2; seed++ {
+			ds := synthetic.UniformCube("u", 1500, d, seed)
+			work := center(ds.X)
+			axis := make([]float64, d)
+			for j := 0; j < d; j++ {
+				for t2 := range axis {
+					axis[t2] = 0
+				}
+				axis[j] = 1
+				got := core.DatasetCoherence(work, axis)
+				if math.Abs(got-want) > tol {
+					t.Fatalf("d=%d seed=%d axis %d: P(D,e) = %v, want %v ± %v", d, seed, j, got, want, tol)
+				}
+			}
+
+			// Oblique random unit directions: strictly less coherent.
+			rng := rand.New(rand.NewSource(seed + 900))
+			for trial := 0; trial < 4; trial++ {
+				e := make([]float64, d)
+				norm := 0.0
+				for j := range e {
+					e[j] = rng.NormFloat64()
+					norm += e[j] * e[j]
+				}
+				norm = math.Sqrt(norm)
+				for j := range e {
+					e[j] /= norm
+				}
+				if got := core.DatasetCoherence(work, e); got >= want-tol {
+					t.Fatalf("d=%d seed=%d: oblique direction coherence %v not below axis calibration %v", d, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// center removes column means (the coherence model's precondition).
+func center(x *linalg.Dense) *linalg.Dense {
+	n, d := x.Dims()
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	out := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		src, dst := x.RawRow(i), out.RawRow(i)
+		for j := range src {
+			dst[j] = src[j] - mean[j]
+		}
+	}
+	return out
+}
+
+// TestPropertyCoherenceScaleInvariance: P(D,e) is invariant to rescaling e
+// (the factor cancels), so selection by coherence cannot be gamed by
+// non-unit eigenvectors.
+func TestPropertyCoherenceScaleInvariance(t *testing.T) {
+	for _, d := range propertyDims {
+		rng := rand.New(rand.NewSource(int64(7 + d)))
+		x := propMatrix(rng, 60, d)
+		work := center(x)
+		e := make([]float64, d)
+		for j := range e {
+			e[j] = rng.NormFloat64()
+		}
+		base := core.DatasetCoherence(work, e)
+		for _, s := range []float64{0.25, 4, 1e6} {
+			scaled := make([]float64, d)
+			for j := range e {
+				scaled[j] = e[j] * s
+			}
+			if got := core.DatasetCoherence(work, scaled); math.Abs(got-base) > 1e-9 {
+				t.Fatalf("d=%d scale %v: coherence %v != %v", d, s, got, base)
+			}
+		}
+	}
+}
+
+// TestPropertyReducedCoherenceProbabilityRange: every coherence probability
+// the fit reports is a probability.
+func TestPropertyReducedCoherenceProbabilityRange(t *testing.T) {
+	for _, d := range propertyDims {
+		rng := rand.New(rand.NewSource(int64(13 * d)))
+		x := propMatrix(rng, 2*d+40, d)
+		p, err := Fit(x, Options{Scaling: ScalingStudentize, ComputeCoherence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Coherence) != d {
+			t.Fatalf("d=%d: %d coherence values", d, len(p.Coherence))
+		}
+		for i, c := range p.Coherence {
+			if math.IsNaN(c) || c < 0 || c > 1 {
+				t.Fatalf("d=%d component %d: coherence %v outside [0,1]", d, i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/index/lsh"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// Engine is a sharded, admission-controlled query server over one dataset
+// snapshot. All methods are safe for concurrent use; Close releases the
+// worker pools.
+type Engine struct {
+	cfg  Config
+	snap atomic.Pointer[snapshot]
+
+	queue  chan *request
+	shardq chan shardTask
+
+	// closeMu serializes admission against Close: Search sends on queue
+	// only under the read lock with closed false, so Close can safely
+	// close(queue) once it holds the write lock and flips closed.
+	closeMu sync.RWMutex
+	closed  bool
+
+	workers      sync.WaitGroup // request workers
+	shardWorkers sync.WaitGroup
+
+	counters counters
+	lat      *latencyRecorder
+}
+
+// snapshot is one immutable generation of the serving state. Queries load
+// it once per request, so a Swap never tears a request across two
+// generations.
+type snapshot struct {
+	epoch  uint64
+	data   *linalg.Dense
+	shards []*shard
+}
+
+// shard is one contiguous partition [lo, hi) of the snapshot's rows with
+// its own cached norms and hash tables. data is a view of the snapshot
+// matrix (shared backing array), so global row i is local row i-lo and
+// distance kernels read the same floats the unsharded path would.
+type shard struct {
+	lo, hi int
+	data   *linalg.Dense
+	norms  []float64
+	lsh    *lsh.Index
+
+	// candidates accumulates approximate-path refinement work executed on
+	// this shard (for EngineStats.ShardCandidates).
+	candidates atomic.Uint64
+	// tasks counts shard scans executed (exact or approximate).
+	tasks atomic.Uint64
+}
+
+// request travels through the admission queue.
+type request struct {
+	ctx      context.Context
+	query    []float64
+	k        int
+	mode     Mode
+	degraded bool
+	admitted time.Time
+	resp     chan response // buffered(1): workers never block responding
+}
+
+// response is what a worker hands back to the waiting caller.
+type response struct {
+	res Result
+	err error
+}
+
+// shardTask is one shard's share of a fanned-out request.
+type shardTask struct {
+	sh     *shard
+	query  []float64
+	k      int
+	approx bool
+	probes int
+	out    chan<- shardOut // buffered(len(shards)): sends never block
+}
+
+// shardOut carries a shard's partial top-k (global indices).
+type shardOut struct {
+	neigh      []knn.Neighbor
+	candidates int
+}
+
+// New builds an engine over the rows of data and starts its worker pools.
+// The matrix is retained, not copied; it must not be mutated while the
+// engine serves (use Swap to install new data).
+func New(data *linalg.Dense, cfg Config) (*Engine, error) {
+	n, d := data.Dims()
+	if n == 0 || d == 0 {
+		return nil, fmt.Errorf("serve: cannot serve %dx%d data", n, d)
+	}
+	c := cfg.withDefaults(n, runtime.GOMAXPROCS(0))
+	e := &Engine{
+		cfg:    c,
+		queue:  make(chan *request, c.QueueDepth),
+		shardq: make(chan shardTask, c.Shards*c.Workers),
+		lat:    newLatencyRecorder(),
+	}
+	e.snap.Store(buildSnapshot(data, c, 1))
+
+	e.workers.Add(c.Workers)
+	for w := 0; w < c.Workers; w++ {
+		//drlint:ignore goroutinehygiene long-lived server pool: each worker defers workers.Done and Close joins via workers.Wait after closing the queue
+		go e.requestWorker()
+	}
+	e.shardWorkers.Add(c.ShardWorkers)
+	for w := 0; w < c.ShardWorkers; w++ {
+		//drlint:ignore goroutinehygiene long-lived server pool: each worker defers shardWorkers.Done and Close joins via shardWorkers.Wait after closing shardq
+		go e.shardWorker()
+	}
+	return e, nil
+}
+
+// buildSnapshot partitions data into cfg.Shards contiguous shards and
+// builds each shard's norm cache and LSH tables. Shard i's hash family is
+// seeded by a splitmix64 derivation of cfg.LSH.Seed, so the snapshot is
+// byte-deterministic for a fixed config.
+func buildSnapshot(data *linalg.Dense, cfg Config, epoch uint64) *snapshot {
+	n := data.Rows()
+	snap := &snapshot{epoch: epoch, data: data, shards: make([]*shard, cfg.Shards)}
+	base, extra := n/cfg.Shards, n%cfg.Shards
+	lo := 0
+	for s := 0; s < cfg.Shards; s++ {
+		hi := lo + base
+		if s < extra {
+			hi++
+		}
+		view := data.RowSlice(lo, hi)
+		shardCfg := cfg.LSH
+		shardCfg.Seed = shardSeed(cfg.LSH.Seed, s)
+		snap.shards[s] = &shard{
+			lo:    lo,
+			hi:    hi,
+			data:  view,
+			norms: linalg.RowNormsSq(view),
+			lsh:   lsh.Build(view, shardCfg),
+		}
+		lo = hi
+	}
+	return snap
+}
+
+// shardSeed expands the root seed into decorrelated per-shard seeds
+// (splitmix64 step, matching the LSH index's own table-seed derivation).
+func shardSeed(root int64, s int) int64 {
+	z := uint64(root) + (uint64(s)+1)*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Epoch returns the live snapshot's generation number.
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+
+// Dims returns the live snapshot's dimensionality.
+func (e *Engine) Dims() int { return e.snap.Load().data.Cols() }
+
+// Len returns the live snapshot's row count.
+func (e *Engine) Len() int { return e.snap.Load().data.Rows() }
+
+// Shards returns the number of partitions of the live snapshot.
+func (e *Engine) Shards() int { return len(e.snap.Load().shards) }
+
+// Swap builds a snapshot over new data (a rebuilt reduction, refreshed
+// points, or both) and atomically installs it. In-flight queries finish on
+// whichever snapshot they loaded; queries admitted after Swap returns see
+// only the new one. Returns the new epoch.
+func (e *Engine) Swap(data *linalg.Dense) (uint64, error) {
+	n, d := data.Dims()
+	if n == 0 || d == 0 {
+		return 0, fmt.Errorf("serve: cannot swap in %dx%d data", n, d)
+	}
+	cfg := e.cfg
+	if cfg.Shards > n {
+		cfg.Shards = n
+	}
+	next := buildSnapshot(data, cfg, e.snap.Load().epoch+1)
+	e.snap.Store(next)
+	e.counters.swaps.Add(1)
+	return next.epoch, nil
+}
+
+// Search serves one query in ModeAuto: exact unless admission control
+// degrades it. See SearchMode.
+func (e *Engine) Search(ctx context.Context, query []float64, k int) (Result, error) {
+	return e.SearchMode(ctx, query, k, ModeAuto)
+}
+
+// SearchMode runs one k-NN query through admission control and the sharded
+// worker pools. It blocks until the request is served, its context
+// expires (ErrDeadline), the queue rejects it (ErrOverloaded), or the
+// engine is closed (ErrClosed). Rejected requests do no search work.
+func (e *Engine) SearchMode(ctx context.Context, query []float64, k int, mode Mode) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("serve: k=%d must be positive", k)
+	}
+	if err := ctx.Err(); err != nil {
+		e.counters.deadline.Add(1)
+		return Result{}, fmt.Errorf("%w (before admission: %v)", ErrDeadline, err)
+	}
+	req := &request{
+		ctx:      ctx,
+		query:    query,
+		k:        k,
+		mode:     mode,
+		admitted: time.Now(),
+		resp:     make(chan response, 1),
+	}
+	// Degrade-at-admission: the queue depth observed now is the backlog
+	// this request would wait behind.
+	if mode == ModeAuto && len(e.queue) >= e.degradeDepth() {
+		req.degraded = true
+	}
+
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	select {
+	case e.queue <- req:
+		e.closeMu.RUnlock()
+	default:
+		e.closeMu.RUnlock()
+		e.counters.rejected.Add(1)
+		return Result{}, ErrOverloaded
+	}
+
+	select {
+	case r := <-req.resp:
+		if r.err != nil {
+			return Result{}, r.err
+		}
+		e.counters.served.Add(1)
+		if r.res.Approx {
+			e.counters.approx.Add(1)
+		} else {
+			e.counters.exact.Add(1)
+		}
+		if r.res.Degraded {
+			e.counters.degraded.Add(1)
+		}
+		e.lat.record(r.res.Total)
+		return r.res, nil
+	case <-ctx.Done():
+		// The worker will still complete the request and drop its result
+		// into the buffered channel; the caller stops waiting now.
+		e.counters.deadline.Add(1)
+		return Result{}, fmt.Errorf("%w (while awaiting result: %v)", ErrDeadline, ctx.Err())
+	}
+}
+
+// degradeDepth is the queue length at which ModeAuto degrades.
+func (e *Engine) degradeDepth() int {
+	d := int(e.cfg.DegradeWatermark * float64(e.cfg.QueueDepth))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Close stops admission, drains every queued request (they are served
+// normally — admitted work is never dropped), and joins both worker pools.
+// Safe to call twice.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	e.closeMu.Unlock()
+	close(e.queue) // no sends can follow: Search checks closed under the lock
+	e.workers.Wait()
+	close(e.shardq)
+	e.shardWorkers.Wait()
+}
+
+// requestWorker drains the admission queue until Close.
+func (e *Engine) requestWorker() {
+	defer e.workers.Done()
+	for req := range e.queue {
+		e.handle(req)
+	}
+}
+
+// handle fans one admitted request over the shard pool and merges.
+func (e *Engine) handle(req *request) {
+	if err := req.ctx.Err(); err != nil {
+		// Expired while queued: reject without scanning. The caller has
+		// usually already returned ErrDeadline from its own ctx.Done arm;
+		// this response is the worker-side bookkeeping for the same fate.
+		req.resp <- response{err: fmt.Errorf("%w (expired while queued: %v)", ErrDeadline, err)}
+		return
+	}
+	snap := e.snap.Load()
+	if len(req.query) != snap.data.Cols() {
+		req.resp <- response{err: fmt.Errorf("%w: query has %d dims, index has %d",
+			ErrDims, len(req.query), snap.data.Cols())}
+		return
+	}
+	wait := time.Since(req.admitted)
+	approx := req.mode == ModeApprox || (req.mode == ModeAuto && req.degraded)
+
+	out := make(chan shardOut, len(snap.shards))
+	for _, sh := range snap.shards {
+		e.shardq <- shardTask{
+			sh:     sh,
+			query:  req.query,
+			k:      req.k,
+			approx: approx,
+			probes: e.cfg.Probes,
+			out:    out,
+		}
+	}
+	merged := make([]knn.Neighbor, 0, len(snap.shards)*req.k)
+	candidates := 0
+	for range snap.shards {
+		o := <-out
+		merged = append(merged, o.neigh...)
+		candidates += o.candidates
+	}
+	knn.SortNeighbors(merged)
+	if len(merged) > req.k {
+		merged = merged[:req.k]
+	}
+	req.resp <- response{res: Result{
+		Neighbors:  merged,
+		Approx:     approx,
+		Degraded:   req.degraded && approx,
+		Epoch:      snap.epoch,
+		Wait:       wait,
+		Total:      time.Since(req.admitted),
+		Candidates: candidates,
+	}}
+}
+
+// shardWorker executes per-shard scans until Close.
+func (e *Engine) shardWorker() {
+	defer e.shardWorkers.Done()
+	for t := range e.shardq {
+		t.sh.tasks.Add(1)
+		var o shardOut
+		if t.approx {
+			o = t.sh.searchApprox(t.query, t.k, t.probes)
+			t.sh.candidates.Add(uint64(o.candidates))
+		} else {
+			o = t.sh.searchExact(t.query, t.k)
+		}
+		t.out <- o
+	}
+}
+
+// searchExact scans the shard with the batch-distance identity
+// ‖x‖²+‖q‖²−2⟨x,q⟩ over the cached norms — the same arithmetic (and the
+// same dotUnitary kernel) knn.SearchSetBatch uses — then rescores admitted
+// neighbors with the scalar metric. Merging per-shard results with the
+// canonical comparator therefore reproduces the single-threaded batch
+// engine bit for bit.
+func (s *shard) searchExact(query []float64, k int) shardOut {
+	n := s.data.Rows()
+	if k > n {
+		k = n
+	}
+	qn := linalg.Dot(query, query)
+	c := knn.NewCollector(k)
+	for i := 0; i < n; i++ {
+		d2 := s.norms[i] + qn - 2*linalg.Dot(s.data.RawRow(i), query)
+		if d2 < 0 {
+			d2 = 0
+		}
+		c.Offer(s.lo+i, d2)
+	}
+	res := c.Results()
+	e := knn.Euclidean{}
+	for i := range res {
+		res[i].Dist = e.Distance(s.data.RawRow(res[i].Index-s.lo), query)
+	}
+	knn.SortNeighbors(res)
+	return shardOut{neigh: res}
+}
+
+// searchApprox probes the shard's LSH tables and lifts local row ids to
+// global ones.
+func (s *shard) searchApprox(query []float64, k, probes int) shardOut {
+	res, st := s.lsh.KNNApprox(query, k, probes)
+	for i := range res {
+		res[i].Index += s.lo
+	}
+	return shardOut{neigh: res, candidates: st.CandidateSize}
+}

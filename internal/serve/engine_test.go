@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/index/lsh"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// randMatrix fills an n x d matrix from a seeded source.
+func randMatrix(rng *rand.Rand, n, d int) *linalg.Dense {
+	m := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := m.RawRow(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// newTestEngine builds a small engine with a roomy queue so tests that do
+// not target admission control never see rejections.
+func newTestEngine(t *testing.T, data *linalg.Dense, shards int) *Engine {
+	t.Helper()
+	e, err := New(data, Config{
+		Shards:     shards,
+		QueueDepth: 4096,
+		LSH:        lsh.Config{Tables: 4, Hashes: 8, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// searchAll issues one exact query per row of queries and collects results.
+func searchAll(t *testing.T, e *Engine, queries *linalg.Dense, k int, mode Mode) [][]knn.Neighbor {
+	t.Helper()
+	out := make([][]knn.Neighbor, queries.Rows())
+	for i := range out {
+		res, err := e.SearchMode(context.Background(), queries.RawRow(i), k, mode)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out[i] = res.Neighbors
+	}
+	return out
+}
+
+// TestExactMatchesSearchSetBatch is the core correctness contract: the
+// sharded exact path must be bit-identical to the single-threaded batch
+// engine, for every shard count including degenerate ones.
+func TestExactMatchesSearchSetBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, d, nq, k = 500, 23, 60, 10
+	data := randMatrix(rng, n, d)
+	queries := randMatrix(rng, nq, d)
+	want := knn.SearchSetBatch(data, queries, k, knn.Euclidean{}, false)
+
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		e := newTestEngine(t, data, shards)
+		got := searchAll(t, e, queries, k, ModeExact)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("shards=%d query %d: %d neighbors, want %d", shards, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("shards=%d query %d neighbor %d: got %+v want %+v",
+						shards, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestApproxMatchesUnshardedUnion: the sharded approximate path must return
+// neighbors drawn from the union of per-shard LSH candidates with exact
+// distances, sorted canonically — and with generous probing it should agree
+// with exact search on most queries.
+func TestApproxRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, d, nq, k = 800, 16, 40, 5
+	data := randMatrix(rng, n, d)
+	queries := randMatrix(rng, nq, d)
+	e, err := New(data, Config{
+		Shards:     4,
+		QueueDepth: 4096,
+		Probes:     64,
+		LSH:        lsh.Config{Tables: 8, Hashes: 8, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	exact := knn.SearchSetBatch(data, queries, k, knn.Euclidean{}, false)
+	hits, total := 0, 0
+	for i := 0; i < nq; i++ {
+		res, err := e.SearchMode(context.Background(), queries.RawRow(i), k, ModeApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Approx {
+			t.Fatalf("ModeApprox result not flagged approximate")
+		}
+		if res.Candidates <= 0 {
+			t.Fatalf("approximate result refined no candidates")
+		}
+		set := map[int]bool{}
+		for _, nb := range exact[i] {
+			set[nb.Index] = true
+		}
+		for _, nb := range res.Neighbors {
+			total++
+			if set[nb.Index] {
+				hits++
+			}
+		}
+		for j := 1; j < len(res.Neighbors); j++ {
+			if knn.LessNeighbor(res.Neighbors[j], res.Neighbors[j-1]) {
+				t.Fatalf("approx results out of canonical order at query %d", i)
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.8 {
+		t.Fatalf("approx recall %.3f too low for generous probing", recall)
+	}
+}
+
+// TestKLargerThanData: k beyond the row count returns every row once.
+func TestKLargerThanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randMatrix(rng, 13, 6)
+	e := newTestEngine(t, data, 4)
+	res, err := e.SearchMode(context.Background(), data.RawRow(0), 50, ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 13 {
+		t.Fatalf("k>n returned %d neighbors, want all 13", len(res.Neighbors))
+	}
+	seen := map[int]bool{}
+	for _, nb := range res.Neighbors {
+		if seen[nb.Index] {
+			t.Fatalf("duplicate index %d in k>n result", nb.Index)
+		}
+		seen[nb.Index] = true
+	}
+}
+
+// TestAdmissionOverload saturates a tiny queue with no workers able to keep
+// up (the workers are blocked by a slow shard pool is not simulable, so the
+// test floods a 1-worker engine) and requires typed ErrOverloaded.
+func TestAdmissionOverload(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Large enough that one exact scan takes real time: a single worker
+	// cannot keep a depth-4 queue drained against 16 bursting clients.
+	data := randMatrix(rng, 100000, 16)
+	e, err := New(data, Config{
+		Shards:       2,
+		Workers:      1,
+		ShardWorkers: 1,
+		QueueDepth:   4,
+		LSH:          lsh.Config{Tables: 2, Hashes: 6, Width: 4, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const clients, perClient = 16, 10
+	var mu sync.Mutex
+	counts := map[string]int{}
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				_, err := e.SearchMode(context.Background(), data.RawRow((c*perClient+i)%data.Rows()), 5, ModeExact)
+				mu.Lock()
+				switch {
+				case err == nil:
+					counts["served"]++
+				case errors.Is(err, ErrOverloaded):
+					counts["overloaded"]++
+				default:
+					counts["other"]++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if counts["other"] != 0 {
+		t.Fatalf("untyped errors under overload: %v", counts)
+	}
+	if counts["served"]+counts["overloaded"] != clients*perClient {
+		t.Fatalf("lost responses: %v (want %d total)", counts, clients*perClient)
+	}
+	if counts["overloaded"] == 0 {
+		t.Fatalf("flooding a depth-4 queue produced no ErrOverloaded: %v", counts)
+	}
+	st := e.Stats()
+	if st.Rejected != uint64(counts["overloaded"]) {
+		t.Fatalf("stats rejected %d, observed %d", st.Rejected, counts["overloaded"])
+	}
+	if st.Served != uint64(counts["served"]) {
+		t.Fatalf("stats served %d, observed %d", st.Served, counts["served"])
+	}
+}
+
+// TestDegradation fills the queue beyond the watermark and checks that
+// ModeAuto requests admitted above it come back flagged Degraded+Approx
+// while ModeExact requests never degrade.
+func TestDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Expensive exact scans with a deep-enough queue: ModeAuto requests
+	// arriving behind the backlog cross the 0.25 watermark and degrade.
+	data := randMatrix(rng, 100000, 16)
+	e, err := New(data, Config{
+		Shards:           2,
+		Workers:          1,
+		ShardWorkers:     1,
+		QueueDepth:       32,
+		DegradeWatermark: 0.25,
+		Probes:           8,
+		LSH:              lsh.Config{Tables: 4, Hashes: 8, Width: 4, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const clients, perClient = 24, 10
+	var degraded, servedExact atomic64
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				res, err := e.Search(context.Background(), data.RawRow((c*perClient+i)%data.Rows()), 5)
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					continue
+				}
+				if res.Degraded {
+					if !res.Approx {
+						t.Error("degraded result not marked approximate")
+					}
+					degraded.add(1)
+				} else if !res.Approx {
+					servedExact.add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if degraded.load() == 0 {
+		t.Fatalf("no request degraded despite a 0.25 watermark under 24-way load")
+	}
+	st := e.Stats()
+	if st.Degraded != uint64(degraded.load()) {
+		t.Fatalf("stats degraded %d, observed %d", st.Degraded, degraded.load())
+	}
+	if st.Exact != uint64(servedExact.load()) {
+		t.Fatalf("stats exact %d, observed %d", st.Exact, servedExact.load())
+	}
+}
+
+// TestDeadline: an already-expired context is rejected with ErrDeadline
+// before admission; a deadline expiring mid-queue also surfaces ErrDeadline.
+func TestDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randMatrix(rng, 500, 16)
+	e := newTestEngine(t, data, 2)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := e.SearchMode(ctx, data.RawRow(0), 3, ModeExact)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired context returned %v, want ErrDeadline", err)
+	}
+	st := e.Stats()
+	if st.Deadline == 0 {
+		t.Fatalf("deadline rejection not counted")
+	}
+}
+
+// TestSwap verifies the atomic snapshot swap: results computed against the
+// new data, epoch bumped, dims free to change, and stale-dimension queries
+// typed as ErrDims.
+func TestSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const d, d2 = 12, 9
+	dataA := randMatrix(rng, 300, d)
+	dataB := randMatrix(rng, 400, d)
+	e := newTestEngine(t, dataA, 3)
+
+	q := dataA.RawRow(7)
+	before, err := e.SearchMode(context.Background(), q, 4, ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Epoch != 1 {
+		t.Fatalf("initial epoch %d, want 1", before.Epoch)
+	}
+
+	epoch, err := e.Swap(dataB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || e.Epoch() != 2 || e.Len() != 400 {
+		t.Fatalf("post-swap epoch %d len %d", e.Epoch(), e.Len())
+	}
+	after, err := e.SearchMode(context.Background(), q, 4, ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != 2 {
+		t.Fatalf("post-swap query served by epoch %d", after.Epoch)
+	}
+	want := knn.SearchSetBatch(dataB, dataA.RowSlice(7, 8), 4, knn.Euclidean{}, false)[0]
+	for j := range want {
+		if after.Neighbors[j] != want[j] {
+			t.Fatalf("post-swap result %d = %+v, want %+v", j, after.Neighbors[j], want[j])
+		}
+	}
+
+	// Dimensionality change: old-width queries get a typed rejection.
+	if _, err := e.Swap(randMatrix(rng, 200, d2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SearchMode(context.Background(), q, 4, ModeExact); !errors.Is(err, ErrDims) {
+		t.Fatalf("stale-width query returned %v, want ErrDims", err)
+	}
+	st := e.Stats()
+	if st.Swaps != 2 || st.Epoch != 3 {
+		t.Fatalf("stats swaps=%d epoch=%d, want 2/3", st.Swaps, st.Epoch)
+	}
+}
+
+// TestClose: closed engines reject with ErrClosed, Close is idempotent, and
+// requests in flight at Close time still complete.
+func TestClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data := randMatrix(rng, 400, 8)
+	e, err := New(data, Config{Shards: 2, QueueDepth: 64, LSH: lsh.Config{Tables: 2, Hashes: 6, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search(context.Background(), data.RawRow(0), 3); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Search(context.Background(), data.RawRow(0), 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine returned %v, want ErrClosed", err)
+	}
+}
+
+// TestBadInputs covers per-request validation.
+func TestBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := randMatrix(rng, 50, 5)
+	e := newTestEngine(t, data, 2)
+	if _, err := e.Search(context.Background(), data.RawRow(0), 0); err == nil {
+		t.Fatalf("k=0 accepted")
+	}
+	if _, err := e.Search(context.Background(), []float64{1, 2}, 3); !errors.Is(err, ErrDims) {
+		t.Fatalf("short query returned %v, want ErrDims", err)
+	}
+}
+
+// TestStatsLatency: served requests populate the latency histogram.
+func TestStatsLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := randMatrix(rng, 300, 10)
+	e := newTestEngine(t, data, 2)
+	for i := 0; i < 20; i++ {
+		if _, err := e.Search(context.Background(), data.RawRow(i), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Served != 20 {
+		t.Fatalf("served %d, want 20", st.Served)
+	}
+	if st.LatencyP50 <= 0 || st.LatencyP99 < st.LatencyP50 {
+		t.Fatalf("latency percentiles p50=%v p99=%v", st.LatencyP50, st.LatencyP99)
+	}
+	var tasks uint64
+	for _, v := range st.ShardTasks {
+		tasks += v
+	}
+	if tasks != 20*uint64(st.Shards) {
+		t.Fatalf("shard tasks %d, want %d", tasks, 20*st.Shards)
+	}
+}
+
+// atomic64 is a tiny test helper counter.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (a *atomic64) add(n int) { a.mu.Lock(); a.v += n; a.mu.Unlock() }
+func (a *atomic64) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// LoadConfig parameterizes RunLoad, the closed-loop load generator behind
+// `drtool -serve-bench`.
+type LoadConfig struct {
+	// Queries is the total number of requests to issue.
+	Queries int
+	// Concurrency is the number of closed-loop client goroutines.
+	Concurrency int
+	// QPS throttles the aggregate request rate (0 = unthrottled: every
+	// client issues its next request as soon as the previous returns).
+	QPS float64
+	// Deadline is the per-request context deadline (0 = none).
+	Deadline time.Duration
+	// K is the neighbor count per query.
+	K int
+	// Mode selects the search path (ModeAuto exercises degradation).
+	Mode Mode
+}
+
+// withDefaults fills zero fields.
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Queries <= 0 {
+		c.Queries = 10000
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	return c
+}
+
+// LoadReport is the outcome accounting of one RunLoad. Every issued request
+// lands in exactly one of Served / Overloaded / DeadlineExceeded /
+// OtherErrors; Lost and Duplicated count bookkeeping violations and must be
+// zero — they are what "no request is dropped or answered twice" means
+// operationally.
+type LoadReport struct {
+	Queries     int
+	Concurrency int
+	Mode        string
+
+	Served           int
+	Exact            int
+	Approx           int
+	Degraded         int
+	Overloaded       int
+	DeadlineExceeded int
+	OtherErrors      int
+
+	// Lost counts request slots that finished with no recorded outcome;
+	// Duplicated counts slots with more than one. Both must be zero.
+	Lost       int
+	Duplicated int
+
+	Elapsed    time.Duration
+	Throughput float64 // served requests per second
+
+	// MeanWait is the average queued time of served requests.
+	MeanWait time.Duration
+}
+
+// RunLoad drives the engine with cfg.Concurrency closed-loop clients
+// issuing cfg.Queries requests total, cycling deterministically through the
+// rows of queries. Request i is owned by client i%Concurrency, so outcome
+// slots are written without coordination and double-completion is
+// structurally detectable.
+func RunLoad(e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, error) {
+	c := cfg.withDefaults()
+	nq := queries.Rows()
+	if nq == 0 {
+		return LoadReport{}, fmt.Errorf("serve: load generator needs a non-empty query set")
+	}
+	if queries.Cols() != e.Dims() {
+		return LoadReport{}, fmt.Errorf("serve: load queries have %d dims, engine serves %d", queries.Cols(), e.Dims())
+	}
+
+	const (
+		outcomeNone = iota
+		outcomeServed
+		outcomeServedApprox
+		outcomeServedDegraded
+		outcomeOverloaded
+		outcomeDeadline
+		outcomeError
+	)
+	outcomes := make([]int8, c.Queries)
+	writes := make([]int32, c.Queries) // per-slot completion count: must end at 1
+	waits := make([]time.Duration, c.Queries)
+
+	// Optional aggregate pacing: each client waits for its slot on a
+	// shared ticker. Closed-loop otherwise.
+	var tick <-chan time.Time
+	if c.QPS > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / c.QPS))
+		defer t.Stop()
+		tick = t.C
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(c.Concurrency)
+	for w := 0; w < c.Concurrency; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < c.Queries; i += c.Concurrency {
+				if tick != nil {
+					<-tick
+				}
+				ctx := context.Background()
+				cancel := func() {}
+				if c.Deadline > 0 {
+					ctx, cancel = context.WithTimeout(ctx, c.Deadline)
+				}
+				res, err := e.SearchMode(ctx, queries.RawRow(i%nq), c.K, c.Mode)
+				cancel()
+				writes[i]++
+				switch {
+				case err == nil:
+					waits[i] = res.Wait
+					switch {
+					case res.Degraded:
+						outcomes[i] = outcomeServedDegraded
+					case res.Approx:
+						outcomes[i] = outcomeServedApprox
+					default:
+						outcomes[i] = outcomeServed
+					}
+				case errors.Is(err, ErrOverloaded):
+					outcomes[i] = outcomeOverloaded
+				case errors.Is(err, ErrDeadline):
+					outcomes[i] = outcomeDeadline
+				default:
+					outcomes[i] = outcomeError
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := LoadReport{
+		Queries:     c.Queries,
+		Concurrency: c.Concurrency,
+		Mode:        c.Mode.String(),
+		Elapsed:     time.Since(start),
+	}
+	var waitSum time.Duration
+	for i, o := range outcomes {
+		switch o {
+		case outcomeServed, outcomeServedApprox, outcomeServedDegraded:
+			rep.Served++
+			waitSum += waits[i]
+			switch o {
+			case outcomeServed:
+				rep.Exact++
+			case outcomeServedApprox:
+				rep.Approx++
+			case outcomeServedDegraded:
+				rep.Approx++
+				rep.Degraded++
+			}
+		case outcomeOverloaded:
+			rep.Overloaded++
+		case outcomeDeadline:
+			rep.DeadlineExceeded++
+		case outcomeError:
+			rep.OtherErrors++
+		default:
+			rep.Lost++
+		}
+		if writes[i] > 1 {
+			rep.Duplicated++
+		}
+	}
+	if rep.Served > 0 {
+		rep.MeanWait = waitSum / time.Duration(rep.Served)
+		rep.Throughput = float64(rep.Served) / rep.Elapsed.Seconds()
+	}
+	return rep, nil
+}

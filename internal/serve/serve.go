@@ -1,0 +1,169 @@
+// Package serve is the concurrent query-serving layer of the similarity
+// pipeline: a sharded engine that fronts the exact batch-distance path
+// (knn.SearchSetBatch's norm-cache kernels) and the approximate multi-probe
+// LSH path behind one admission-controlled API.
+//
+// The design follows the operational setting of Thomasian's clustered /
+// reduced-index serving work (PAPERS.md): the dataset is partitioned into P
+// contiguous shards, each carrying its own cached squared row norms and its
+// own independently seeded LSH tables. A query fans out over the shards on
+// a fixed worker pool; per-shard top-k lists are merged with the canonical
+// (distance, index) comparator, so the exact path is bit-identical to a
+// single-threaded knn.SearchSetBatch over the unsharded data.
+//
+// Three serving concerns the single-request CLIs never had to own live
+// here:
+//
+//   - Admission control. Requests pass through a bounded queue; a full
+//     queue rejects immediately with ErrOverloaded, a request whose
+//     context deadline expires before completion returns ErrDeadline, and
+//     when queue depth crosses a configurable watermark, ModeAuto requests
+//     degrade gracefully from exact scans to approximate LSH probing
+//     instead of queueing further behind work they cannot beat.
+//
+//   - Index lifecycle. The live snapshot (shards, norms, LSH tables) hangs
+//     off an atomic.Pointer; Swap builds a replacement off to the side and
+//     installs it with one pointer store, so rebuilds with a new reduction
+//     basis or new probe configuration never block in-flight queries.
+//
+//   - Observability. Every request outcome is counted (served, rejected,
+//     degraded, deadline-expired), per-shard candidate work is tracked, and
+//     latency is recorded in a fixed-bucket log-scale histogram
+//     (internal/stats) from which Stats reports p50/p99.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/index/lsh"
+	"repro/internal/knn"
+)
+
+// Typed rejections. Callers branch on these with errors.Is: an overloaded
+// engine should be retried after backoff (or the request re-issued in
+// ModeApprox), a deadline rejection should be surfaced to the caller, and a
+// closed engine is a lifecycle bug.
+var (
+	// ErrOverloaded reports that the bounded request queue was full at
+	// admission time. The request was not enqueued and did no work.
+	ErrOverloaded = errors.New("serve: engine overloaded, request queue full")
+	// ErrDeadline reports that the request's context expired before a
+	// result could be returned — at admission, while queued, or while the
+	// caller waited for the merge.
+	ErrDeadline = errors.New("serve: request deadline exceeded")
+	// ErrClosed reports that the engine has been Closed.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrDims reports a query whose dimensionality does not match the live
+	// snapshot (possible when a Swap changes the reduction basis while the
+	// request is in flight).
+	ErrDims = errors.New("serve: query dimensionality does not match live index")
+)
+
+// Mode selects the search path of a request.
+type Mode int
+
+const (
+	// ModeAuto serves exactly while the queue is shallow and degrades to
+	// the approximate path when queue depth crosses the watermark.
+	ModeAuto Mode = iota
+	// ModeExact always runs the exact sharded scan.
+	ModeExact
+	// ModeApprox always runs the sharded multi-probe LSH path.
+	ModeApprox
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeExact:
+		return "exact"
+	case ModeApprox:
+		return "approx"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// Config parameterizes New. Zero values select sensible defaults, so
+// Config{} is a working single-node configuration.
+type Config struct {
+	// Shards is P, the number of contiguous data partitions (0 selects
+	// GOMAXPROCS, clamped so every shard holds at least one row).
+	Shards int
+	// Workers is the number of request workers draining the admission
+	// queue — the engine's request-level concurrency (0 selects
+	// 2·GOMAXPROCS).
+	Workers int
+	// ShardWorkers sizes the pool that executes per-shard scans (0 selects
+	// GOMAXPROCS).
+	ShardWorkers int
+	// QueueDepth bounds the admission queue (0 selects 256). A full queue
+	// rejects with ErrOverloaded.
+	QueueDepth int
+	// DegradeWatermark is the queue-depth fraction in (0, 1] beyond which
+	// ModeAuto requests fall back to the approximate path (0 selects 0.75;
+	// 1 disables degradation — the queue rejects before it ever degrades).
+	DegradeWatermark float64
+	// Probes is the per-table probing depth of the approximate path
+	// (0 selects 16).
+	Probes int
+	// LSH configures each shard's hash index. LSH.Seed is the root seed;
+	// shard i derives an independent seed from it, so a snapshot is
+	// deterministic for a fixed config regardless of build parallelism.
+	LSH lsh.Config
+}
+
+// withDefaults resolves zero fields against the data size n and the number
+// of processors procs.
+func (c Config) withDefaults(n, procs int) Config {
+	if c.Shards <= 0 {
+		c.Shards = procs
+	}
+	if c.Shards > n {
+		c.Shards = n
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2 * procs
+	}
+	if c.ShardWorkers <= 0 {
+		c.ShardWorkers = procs
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DegradeWatermark <= 0 {
+		c.DegradeWatermark = 0.75
+	}
+	if c.DegradeWatermark > 1 {
+		c.DegradeWatermark = 1
+	}
+	if c.Probes <= 0 {
+		c.Probes = 16
+	}
+	return c
+}
+
+// Result is one served query.
+type Result struct {
+	// Neighbors holds up to k results in the canonical (distance, index)
+	// order; indices refer to rows of the snapshot's data matrix.
+	Neighbors []knn.Neighbor
+	// Approx reports whether the approximate path served the request.
+	Approx bool
+	// Degraded reports whether admission control downgraded a ModeAuto
+	// request to the approximate path (implies Approx).
+	Degraded bool
+	// Epoch identifies the snapshot that served the query; it increases by
+	// one per Swap, so tests can assert which index a response saw.
+	Epoch uint64
+	// Wait is the time the request spent queued before a worker picked it
+	// up; Total is admission-to-merge latency.
+	Wait, Total time.Duration
+	// Candidates counts the points the approximate path refined with exact
+	// distances, summed over shards (zero on the exact path, which scans
+	// everything).
+	Candidates int
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Latency histogram shape: log10(seconds) over [100ns, 10s) at 20 bins per
+// decade. Fixed buckets keep the recorder O(1) per request and O(bins)
+// memory no matter how many requests it absorbs; quantiles are read back
+// with stats.Histogram.Quantile at one-bin (≈12%) resolution.
+const (
+	latMinLog = -7.0
+	latMaxLog = 1.0
+	latBins   = 160
+)
+
+// counters is the engine's atomic counter block.
+type counters struct {
+	served   atomic.Uint64
+	rejected atomic.Uint64
+	deadline atomic.Uint64
+	degraded atomic.Uint64
+	exact    atomic.Uint64
+	approx   atomic.Uint64
+	swaps    atomic.Uint64
+}
+
+// latencyRecorder is a mutex-guarded fixed-bucket histogram of request
+// latencies. A single short critical section per request is cheap next to a
+// shard scan; the recorder exists so EngineStats can report percentiles
+// without retaining per-request samples.
+type latencyRecorder struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{h: stats.NewHistogram(latMinLog, latMaxLog, latBins)}
+}
+
+// record adds one request's total latency.
+func (l *latencyRecorder) record(d time.Duration) {
+	sec := d.Seconds()
+	if sec <= 0 {
+		sec = 1e-9 // clock-resolution floor; clamps into the first bucket
+	}
+	l.mu.Lock()
+	l.h.Add(math.Log10(sec))
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile latency, or 0 before any request.
+func (l *latencyRecorder) quantile(q float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.h.Total() == 0 {
+		return 0
+	}
+	return time.Duration(math.Pow(10, l.h.Quantile(q)) * float64(time.Second))
+}
+
+// EngineStats is a point-in-time snapshot of the engine's counters.
+type EngineStats struct {
+	// Served counts requests answered with a result. Exact + Approx ==
+	// Served; Degraded counts the subset of Approx that admission control
+	// downgraded.
+	Served, Exact, Approx, Degraded uint64
+	// Rejected counts ErrOverloaded admissions (queue full); Deadline
+	// counts requests whose context expired before a result was returned.
+	Rejected, Deadline uint64
+	// Swaps counts snapshot replacements; Epoch is the live generation.
+	Swaps, Epoch uint64
+	// QueueDepth/QueueCap describe the admission queue at sampling time.
+	QueueDepth, QueueCap int
+	// Shards is the live partition count. ShardTasks[i] counts scans
+	// executed by shard i this generation; ShardCandidates[i] counts the
+	// approximate-path points shard i refined with exact distances.
+	Shards          int
+	ShardTasks      []uint64
+	ShardCandidates []uint64
+	// LatencyP50/LatencyP99 are served-request latency percentiles from
+	// the fixed-bucket histogram (zero before the first served request).
+	LatencyP50, LatencyP99 time.Duration
+}
+
+// Stats samples the engine's counters. Per-shard numbers describe the live
+// snapshot only (a Swap starts fresh shard counters with the new shards).
+func (e *Engine) Stats() EngineStats {
+	snap := e.snap.Load()
+	s := EngineStats{
+		Served:     e.counters.served.Load(),
+		Exact:      e.counters.exact.Load(),
+		Approx:     e.counters.approx.Load(),
+		Degraded:   e.counters.degraded.Load(),
+		Rejected:   e.counters.rejected.Load(),
+		Deadline:   e.counters.deadline.Load(),
+		Swaps:      e.counters.swaps.Load(),
+		Epoch:      snap.epoch,
+		QueueDepth: len(e.queue),
+		QueueCap:   cap(e.queue),
+		Shards:     len(snap.shards),
+		LatencyP50: e.lat.quantile(0.50),
+		LatencyP99: e.lat.quantile(0.99),
+	}
+	s.ShardTasks = make([]uint64, len(snap.shards))
+	s.ShardCandidates = make([]uint64, len(snap.shards))
+	for i, sh := range snap.shards {
+		s.ShardTasks[i] = sh.tasks.Load()
+		s.ShardCandidates[i] = sh.candidates.Load()
+	}
+	return s
+}

@@ -72,6 +72,53 @@ func (h *Histogram) Density(i int) float64 {
 	return float64(h.Counts[i]) / float64(h.total)
 }
 
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) of the
+// recorded values: the center of the first bin at which the cumulative count
+// reaches q·Total. It panics on an empty histogram or a q outside [0, 1].
+// The estimate's resolution is one bin width, which is what makes a
+// fixed-bucket histogram a bounded-memory percentile tracker for serving
+// latencies (p50/p99 over millions of requests in O(bins) space).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		panic("stats: Histogram.Quantile of empty histogram")
+	}
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Histogram.Quantile q=%v outside [0,1]", q))
+	}
+	target := q * float64(h.total)
+	cum := 0
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target && cum > 0 {
+			return h.BinCenter(i)
+		}
+	}
+	// Reachable only for q so close to 1 that rounding pushed the target
+	// past the final cumulative count: answer the last non-empty bin.
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return h.BinCenter(i)
+		}
+	}
+	return h.BinCenter(len(h.Counts) - 1)
+}
+
+// Merge adds every bin count of o into h. The histograms must have the same
+// range and bin count; per-worker histograms merged at read time let
+// concurrent recorders run without shared-write contention.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.Counts) != len(o.Counts) ||
+		math.Float64bits(h.Min) != math.Float64bits(o.Min) ||
+		math.Float64bits(h.Max) != math.Float64bits(o.Max) {
+		panic(fmt.Sprintf("stats: Histogram.Merge shape mismatch: [%v,%v]x%d vs [%v,%v]x%d",
+			h.Min, h.Max, len(h.Counts), o.Min, o.Max, len(o.Counts)))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.total += o.total
+}
+
 // Mode returns the center of the fullest bin (first on ties).
 func (h *Histogram) Mode() float64 {
 	best := 0

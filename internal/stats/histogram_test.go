@@ -96,3 +96,89 @@ func TestFromData(t *testing.T) {
 		t.Fatalf("constant-data histogram total = %d", hc.Total())
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for v := 0.5; v < 10; v++ { // one value per bin: 0.5, 1.5, ..., 9.5
+		h.Add(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0.5},    // smallest non-empty bin
+		{0.1, 0.5},  // cumulative 1/10 reached in bin 0
+		{0.5, 4.5},  // median of ten evenly spread values
+		{0.9, 8.5},
+		{1, 9.5},    // largest value's bin
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// A heavily skewed distribution: p50 in the hot bin, p99 in the tail.
+	s := NewHistogram(0, 10, 10)
+	for i := 0; i < 990; i++ {
+		s.Add(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(9.5)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("skewed p50 = %v, want 1.5", got)
+	}
+	if got := s.Quantile(0.999); math.Abs(got-9.5) > 1e-12 {
+		t.Fatalf("skewed p99.9 = %v, want 9.5", got)
+	}
+}
+
+func TestHistogramQuantilePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	empty := NewHistogram(0, 1, 4)
+	mustPanic("empty histogram", func() { empty.Quantile(0.5) })
+	h := NewHistogram(0, 1, 4)
+	h.Add(0.5)
+	mustPanic("q < 0", func() { h.Quantile(-0.1) })
+	mustPanic("q > 1", func() { h.Quantile(1.1) })
+	mustPanic("q NaN", func() { h.Quantile(math.NaN()) })
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	a.AddAll([]float64{0.5, 1.5, 2.5})
+	b.AddAll([]float64{2.5, 9.5})
+	a.Merge(b)
+	if a.Total() != 5 {
+		t.Fatalf("merged total = %d, want 5", a.Total())
+	}
+	if a.Counts[2] != 2 {
+		t.Fatalf("merged bin 2 count = %d, want 2", a.Counts[2])
+	}
+	if a.Counts[9] != 1 {
+		t.Fatalf("merged bin 9 count = %d, want 1", a.Counts[9])
+	}
+	// Merging must feed Quantile the combined population.
+	if got := a.Quantile(1); math.Abs(got-9.5) > 1e-12 {
+		t.Fatalf("post-merge max quantile = %v, want 9.5", got)
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bin mismatch", func() { a.Merge(NewHistogram(0, 10, 5)) })
+	mustPanic("range mismatch", func() { a.Merge(NewHistogram(0, 5, 10)) })
+}

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # bench.sh measures the batch-distance engine's key kernels and writes
 # BENCH_knn.json (or $1) with ns/op for each, alongside the frozen pre-engine
-# baselines so the before/after comparison travels with the repo.
+# baselines so the before/after comparison travels with the repo. It then
+# drives the sharded serving engine through `drtool -serve-bench` at the
+# acceptance workload (10k queries, concurrency 32, musk-like n=6598 d=166)
+# and records the outcome accounting and latency percentiles in
+# BENCH_serve.json (or $3).
 #
-# Usage: scripts/bench.sh [output.json] [benchtime]
+# Usage: scripts/bench.sh [output.json] [benchtime] [serve-output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_knn.json}
 benchtime=${2:-5x}
+serveout=${3:-BENCH_serve.json}
 
 # Never record numbers from a tree that violates the repo's own invariants:
 # an unguarded kernel or a global-rand call site makes the measurement
@@ -66,3 +71,8 @@ END {
 
 echo "wrote $out"
 cat "$out"
+
+# Serving-layer acceptance run: the load generator verifies a query sample
+# bit-identical to SearchSetBatch and fails on any lost or duplicated
+# response, so a recorded BENCH_serve.json doubles as a correctness receipt.
+go run ./cmd/drtool -serve-bench -serve-out "$serveout"
