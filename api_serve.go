@@ -73,9 +73,10 @@ type LoadConfig = serve.LoadConfig
 type LoadReport = serve.LoadReport
 
 // RunLoad drives an engine with a closed-loop client fleet cycling through
-// the query rows and accounts for every request's outcome.
-func RunLoad(e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, error) {
-	return serve.RunLoad(e, queries, cfg)
+// the query rows and accounts for every request's outcome. Per-request
+// deadlines derive from ctx, so cancelling it winds down the fleet.
+func RunLoad(ctx context.Context, e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, error) {
+	return serve.RunLoad(ctx, e, queries, cfg)
 }
 
 // MuskLikeConfig is the generator configuration behind MuskLike with N left

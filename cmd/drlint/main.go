@@ -1,17 +1,26 @@
 // Command drlint runs this repository's project-specific static analyzers
-// (dimension guards, seeded-randomness, float comparison, goroutine
-// hygiene) over the module and exits nonzero on findings.
+// over the module and exits nonzero on findings. The four syntactic rules
+// (dimguard, globalrand, floatcmp, goroutinehygiene) are joined by four
+// type-aware rules (atomicmix, lockhold, ctxflow, errwrap) that run over a
+// go/types-checked view of every package.
 //
 // Usage:
 //
 //	go run ./cmd/drlint ./...          # whole module
 //	go run ./cmd/drlint internal/knn   # one directory
 //	go run ./cmd/drlint -rules floatcmp,dimguard ./...
+//	go run ./cmd/drlint -format sarif ./... > drlint.sarif
+//	go run ./cmd/drlint -baseline .drlint-baseline.json ./...
+//	go run ./cmd/drlint -baseline .drlint-baseline.json -write-baseline ./...
 //	go run ./cmd/drlint -list
 //
-// Findings print as file:line:col: [rule] message. Suppress an intentional
-// finding with a justified directive on the offending line or the line
-// above: //drlint:ignore <rule> <reason>.
+// Findings print as file:line:col: [rule] message (-format text), as a JSON
+// document (-format json), or as SARIF 2.1.0 for GitHub code scanning
+// (-format sarif). With -baseline, recorded findings are accepted and only
+// new ones fail the run; -write-baseline records the current findings to
+// the -baseline path instead of failing. Suppress an intentional finding
+// with a justified directive on the offending line or the line above:
+// //drlint:ignore <rule> <reason>.
 package main
 
 import (
@@ -27,8 +36,11 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	baselinePath := flag.String("baseline", "", "baseline file: recorded findings are accepted, only new ones fail")
+	writeBaseline := flag.Bool("write-baseline", false, "record the current findings to the -baseline path and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: drlint [-rules r1,r2] [-list] [patterns...]\n\npatterns are directories or ./... (default ./...)\n")
+		fmt.Fprintf(os.Stderr, "usage: drlint [-rules r1,r2] [-format text|json|sarif] [-baseline file [-write-baseline]] [-list] [patterns...]\n\npatterns are directories or ./... (default ./...)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,6 +60,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "drlint: unknown -format %q (text, json or sarif)\n", *format)
+		os.Exit(2)
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "drlint: -write-baseline needs -baseline <file> to know where to write")
+		os.Exit(2)
+	}
 
 	root, err := moduleRoot()
 	if err != nil {
@@ -60,30 +82,81 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	var diags []analysis.Diagnostic
+	var res analysis.RunResult
 	for _, pat := range patterns {
-		d, err := runPattern(root, pat, analyzers)
+		r, err := runPatternResult(root, pat, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		diags = append(diags, d...)
+		res.Diags = append(res.Diags, r.Diags...)
+		res.Suppressed = append(res.Suppressed, r.Suppressed...)
 	}
 
-	for _, d := range diags {
-		fmt.Println(d)
+	if *writeBaseline {
+		b := analysis.NewBaseline(root, res.Diags)
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := b.Write(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "drlint: recorded %d finding(s) to %s\n", b.Len(), *baselinePath)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "drlint: %d finding(s)\n", len(diags))
+
+	var baseline *analysis.Baseline
+	if *baselinePath != "" {
+		baseline, err = analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	failing := analysis.Gate(root, res, baseline)
+
+	switch *format {
+	case "text":
+		err = analysis.WriteText(os.Stdout, root, failing)
+	case "json":
+		err = analysis.WriteJSON(os.Stdout, root, failing)
+	case "sarif":
+		err = analysis.WriteSARIF(os.Stdout, root, analyzers, failing)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "drlint: %d new finding(s)\n", len(failing))
 		os.Exit(1)
 	}
 }
 
-// runPattern resolves one CLI pattern: "./..." (or "all") walks the module;
-// anything else is a single package directory, relative to the module root.
+// runPattern resolves one CLI pattern and returns the surviving findings.
 func runPattern(root, pat string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	res, err := runPatternResult(root, pat, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// runPatternResult resolves one CLI pattern: "./..." (or "all") walks the
+// module; anything else is a single package directory (or dir/... subtree),
+// relative to the module root. Suppressed findings ride along for baseline
+// redundancy reporting.
+func runPatternResult(root, pat string, analyzers []*analysis.Analyzer) (analysis.RunResult, error) {
 	if pat == "./..." || pat == "..." || pat == "all" {
-		return analysis.Run(root, analyzers)
+		return analysis.RunModule(root, analyzers)
 	}
 	dir := strings.TrimSuffix(pat, "/...")
 	if !filepath.IsAbs(dir) {
@@ -92,18 +165,18 @@ func runPattern(root, pat string, analyzers []*analysis.Analyzer) ([]analysis.Di
 	if strings.HasSuffix(pat, "/...") {
 		pkgs, err := analysis.LoadUnder(root, dir)
 		if err != nil {
-			return nil, err
+			return analysis.RunResult{}, err
 		}
-		return analysis.RunPackages(pkgs, analyzers), nil
+		return analysis.RunPackagesResult(pkgs, analyzers), nil
 	}
 	pkg, err := analysis.LoadDir(root, dir)
 	if err != nil {
-		return nil, err
+		return analysis.RunResult{}, err
 	}
 	if pkg == nil {
-		return nil, fmt.Errorf("drlint: no Go files in %s", dir)
+		return analysis.RunResult{}, fmt.Errorf("drlint: no Go files in %s", dir)
 	}
-	return analysis.RunPackages([]*analysis.Package{pkg}, analyzers), nil
+	return analysis.RunPackagesResult([]*analysis.Package{pkg}, analyzers), nil
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -69,6 +69,55 @@ func TestRunPatternSubtree(t *testing.T) {
 	}
 }
 
+// TestRunPatternResultRecordsSuppressions: the atomicmix fixture carries a
+// //drlint:ignore directive, and the CLI machinery must keep the suppressed
+// finding so baseline gating can flag redundant directives.
+func TestRunPatternResultRecordsSuppressions(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runPatternResult(root, "internal/analysis/testdata/src/atomicmix", analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) == 0 {
+		t.Fatal("expected atomicmix findings from the fixture, got none")
+	}
+	found := false
+	for _, s := range res.Suppressed {
+		if s.Diag.Rule == "atomicmix" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the fixture's suppressed atomicmix finding was not recorded: %+v", res.Suppressed)
+	}
+}
+
+// TestBaselineGateAcceptsRecordedFindings drives the same path main takes
+// with -baseline: findings recorded in a baseline no longer fail the run.
+func TestBaselineGateAcceptsRecordedFindings(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runPatternResult(root, "internal/analysis/testdata/src/errwrap", analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) == 0 {
+		t.Fatal("expected errwrap findings from the fixture, got none")
+	}
+	b := analysis.NewBaseline(root, res.Diags)
+	if failing := analysis.Gate(root, res, b); len(failing) != 0 {
+		t.Fatalf("baseline did not absorb its own findings: %v", failing)
+	}
+	if failing := analysis.Gate(root, res, nil); len(failing) != len(res.Diags) {
+		t.Fatalf("nil baseline changed the findings: %v", failing)
+	}
+}
+
 func TestRulesFilter(t *testing.T) {
 	if _, err := analysis.ByName([]string{"globalrand"}); err != nil {
 		t.Fatal(err)

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -97,7 +98,7 @@ func main() {
 	flag.Parse()
 
 	if o.serveBench {
-		if err := runServeBench(os.Stdout, o); err != nil {
+		if err := runServeBench(context.Background(), os.Stdout, o); err != nil {
 			fmt.Fprintf(os.Stderr, "drtool: %v\n", err)
 			os.Exit(1)
 		}

@@ -97,8 +97,9 @@ type serveBenchReport struct {
 // runServeBench is the `drtool -serve-bench` entry point: build the sharded
 // engine over the workload, verify its exact path bit-identical to the
 // single-threaded batch engine on a query sample, drive it with the load
-// generator, and report outcome accounting plus latency percentiles.
-func runServeBench(w io.Writer, o options) error {
+// generator, and report outcome accounting plus latency percentiles. The
+// context comes from main (or the test) and flows into every request.
+func runServeBench(ctx context.Context, w io.Writer, o options) error {
 	data, queries, name, err := serveBenchData(o)
 	if err != nil {
 		return err
@@ -149,7 +150,7 @@ func runServeBench(w io.Writer, o options) error {
 		sample := queries.SliceRows(rows)
 		want := repro.SearchSetBatch(data, sample, o.neighbors, repro.Euclidean{}, false)
 		for i := 0; i < nVerify && identical; i++ {
-			res, err := e.SearchMode(context.Background(), sample.RawRow(i), o.neighbors, repro.ModeExact)
+			res, err := e.SearchMode(ctx, sample.RawRow(i), o.neighbors, repro.ModeExact)
 			if err != nil {
 				return fmt.Errorf("verify query %d: %w", i, err)
 			}
@@ -179,7 +180,7 @@ func runServeBench(w io.Writer, o options) error {
 		K:           o.neighbors,
 		Mode:        mode,
 	}
-	rep, err := repro.RunLoad(e, queries, load)
+	rep, err := repro.RunLoad(ctx, e, queries, load)
 	if err != nil {
 		return err
 	}

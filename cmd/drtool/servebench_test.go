@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -30,7 +31,7 @@ func TestServeBenchSynthetic(t *testing.T) {
 	o := serveBenchOptions()
 	o.serveOut = out
 	var buf bytes.Buffer
-	if err := runServeBench(&buf, o); err != nil {
+	if err := runServeBench(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "bit-identical to SearchSetBatch") {
@@ -67,7 +68,7 @@ func TestServeBenchCSVInput(t *testing.T) {
 	o.serveMode = "exact"
 	o.serveVerify = 4
 	var buf bytes.Buffer
-	if err := runServeBench(&buf, o); err != nil {
+	if err := runServeBench(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "served") {
@@ -83,7 +84,7 @@ func TestServeBenchModes(t *testing.T) {
 			o.serveQueries = 60
 			o.serveMode = mode
 			o.serveVerify = 2
-			if err := runServeBench(new(bytes.Buffer), o); err != nil {
+			if err := runServeBench(context.Background(), new(bytes.Buffer), o); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -93,24 +94,24 @@ func TestServeBenchModes(t *testing.T) {
 func TestServeBenchErrors(t *testing.T) {
 	o := serveBenchOptions()
 	o.serveMode = "bogus"
-	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+	if err := runServeBench(context.Background(), new(bytes.Buffer), o); err == nil {
 		t.Fatalf("bogus mode accepted")
 	}
 	o = serveBenchOptions()
 	o.neighbors = 0
-	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+	if err := runServeBench(context.Background(), new(bytes.Buffer), o); err == nil {
 		t.Fatalf("zero neighbors accepted")
 	}
 	o = serveBenchOptions()
 	o.in = filepath.Join(t.TempDir(), "missing.csv")
-	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+	if err := runServeBench(context.Background(), new(bytes.Buffer), o); err == nil {
 		t.Fatalf("missing input accepted")
 	}
 	o = serveBenchOptions()
 	o.serveOut = filepath.Join(t.TempDir(), "no", "such", "dir.json")
 	o.serveQueries = 40
 	o.serveVerify = 1
-	if err := runServeBench(new(bytes.Buffer), o); err == nil {
+	if err := runServeBench(context.Background(), new(bytes.Buffer), o); err == nil {
 		t.Fatalf("unwritable report path accepted")
 	}
 }

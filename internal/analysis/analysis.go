@@ -1,21 +1,42 @@
 // Package analysis is a project-specific static-analysis framework for the
 // numeric, concurrency, and reproducibility invariants this codebase relies
 // on but the Go compiler cannot check. It is stdlib-only (go/ast, go/parser,
-// go/token) and ships four analyzers:
+// go/token, go/types): the loader parses every package of the module and
+// type-checks it with a file-system importer over the module's own packages
+// plus a source importer for the standard library, so analyzers see
+// resolved objects, method sets, and underlying types instead of raw
+// identifiers.
 //
-//   - dimguard: exported linalg/knn kernels taking two or more vector or
-//     matrix arguments must validate dimensions before indexing.
+// Four syntactic rules enforce kernel and determinism contracts:
+//
+//   - dimguard: exported linalg/knn kernels taking ≥2 vector or matrix
+//     arguments must validate dimensions before indexing.
 //   - globalrand: randomness must flow through an injected seeded
 //     *rand.Rand — no global math/rand state, no hardcoded literal seeds in
-//     library code. This is the determinism contract: a root seed threaded
-//     through Options/configs yields bit-identical outputs on every run.
+//     library code.
 //   - floatcmp: no ==/!= between floating-point expressions outside tests
-//     (comparison against the exact literal 0 is allowed — that is the IEEE
-//     degenerate-case guard, not an approximate-equality bug).
+//     (comparison against the exact literal 0 is allowed).
 //   - goroutinehygiene: every `go` statement launched inside a loop must be
 //     paired with a sync.WaitGroup Add/Done (or a result-channel handshake)
-//     in the same function, the shape used by the GEMM panels and the
-//     parallel searchers.
+//     in the same function.
+//
+// Four type-aware rules enforce the serving layer's concurrency and
+// error-contract idioms:
+//
+//   - atomicmix: a struct field accessed through sync/atomic operations
+//     anywhere in the package must never be read or written plainly
+//     elsewhere.
+//   - lockhold: no blocking operation (channel send/receive, selects
+//     without a default, Wait, time.Sleep, or a call into a same-package
+//     function that blocks) while a sync.Mutex/RWMutex is held in
+//     internal/serve.
+//   - ctxflow: exported context-accepting functions in internal/serve and
+//     cmd/drtool must propagate their context to every context-accepting
+//     call they make; context.Background()/TODO() is reserved for main and
+//     tests.
+//   - errwrap: the serving layer's typed sentinel errors must be compared
+//     with errors.Is and wrapped with %w — never ==/!=, switch cases, or
+//     string matching on Error() text.
 //
 // Findings can be suppressed with a justified directive on the offending
 // line or the line above it:
@@ -23,12 +44,15 @@
 //	//drlint:ignore <rule>[,<rule>...] <reason>
 //
 // The reason is mandatory; a directive names exactly the rules it silences.
+// Beyond directives, a baseline file (see Baseline) can absorb a known set
+// of findings so only new ones gate CI.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 )
 
@@ -51,11 +75,20 @@ type File struct {
 }
 
 // Package is a directory of parsed files sharing one *token.FileSet.
+// After loading, the non-test files are type-checked: Types is the
+// resulting package object, TypesInfo maps expressions and identifiers to
+// their resolved types and objects, and TypeErrors collects go/types
+// failures (empty on a compilable package). Test files are parsed but not
+// type-checked; packages with only test files stay untyped (TypesInfo nil).
 type Package struct {
 	Dir   string // directory relative to the module root (".", "internal/knn", ...)
 	Path  string // import path ("repro/internal/knn")
 	Fset  *token.FileSet
 	Files []File
+
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
 }
 
 // Pass carries one analyzer's run over one package.
@@ -96,12 +129,20 @@ type Analyzer struct {
 	// IncludeTests runs the rule over *_test.go files too. All shipped
 	// analyzers enforce production invariants and leave tests alone.
 	IncludeTests bool
-	Run          func(pass *Pass)
+	// NeedsTypes marks rules that require a successful type check; they
+	// skip packages whose TypesInfo is unavailable.
+	NeedsTypes bool
+	Run        func(pass *Pass)
 }
 
-// All returns the analyzers this project enforces, in stable order.
+// All returns the analyzers this project enforces, in stable order: the
+// four syntactic rules from the first drlint, then the four type-aware
+// rules.
 func All() []*Analyzer {
-	return []*Analyzer{DimGuard, GlobalRand, FloatCmp, GoroutineHygiene}
+	return []*Analyzer{
+		DimGuard, GlobalRand, FloatCmp, GoroutineHygiene,
+		AtomicMix, LockHold, CtxFlow, ErrWrap,
+	}
 }
 
 // ByName returns the subset of All whose names appear in names, erroring on
@@ -122,18 +163,53 @@ func ByName(names []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// Suppressed is a finding silenced by a //drlint:ignore directive, kept for
+// baseline redundancy reporting.
+type Suppressed struct {
+	Diag         Diagnostic
+	DirectivePos token.Position
+}
+
+// RunResult is the outcome of applying analyzers to a set of packages.
+type RunResult struct {
+	// Diags are the surviving findings (directive-suppressed ones removed,
+	// type-check errors included under the rule name "typecheck"), sorted
+	// by position.
+	Diags []Diagnostic
+	// Suppressed are the findings a directive silenced.
+	Suppressed []Suppressed
+}
+
 // RunPackages applies each analyzer to each package and returns the
 // surviving diagnostics (suppressed findings removed), sorted by position.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	return RunPackagesResult(pkgs, analyzers).Diags
+}
+
+// RunPackagesResult is RunPackages keeping the suppressed findings too, so
+// callers gating against a baseline can flag directives the baseline makes
+// redundant.
+func RunPackagesResult(pkgs []*Package, analyzers []*Analyzer) RunResult {
+	var res RunResult
 	for _, pkg := range pkgs {
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
+			if a.NeedsTypes && pkg.TypesInfo == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
 			a.Run(pass)
 		}
-		diags = append(diags, filterIgnored(pkg, pkgDiags)...)
+		pkgDiags = append(pkgDiags, typeErrorDiagnostics(pkg)...)
+		kept, sup := filterIgnored(pkg, pkgDiags)
+		res.Diags = append(res.Diags, kept...)
+		res.Suppressed = append(res.Suppressed, sup...)
 	}
+	sortDiagnostics(res.Diags)
+	return res
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -147,14 +223,23 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // Run loads every package under root and applies the analyzers.
 func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	pkgs, err := Load(root)
+	res, err := RunModule(root, analyzers)
 	if err != nil {
 		return nil, err
 	}
-	return RunPackages(pkgs, analyzers), nil
+	return res.Diags, nil
+}
+
+// RunModule loads every package under root and applies the analyzers,
+// keeping suppressed findings for baseline gating.
+func RunModule(root string, analyzers []*Analyzer) (RunResult, error) {
+	pkgs, err := Load(root)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunPackagesResult(pkgs, analyzers), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/parser"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -106,6 +107,46 @@ func TestGoroutineHygieneFixture(t *testing.T) {
 	runFixture(t, GoroutineHygiene, "goroutinehygiene", "")
 }
 
+func TestAtomicMixFixture(t *testing.T) {
+	runFixture(t, AtomicMix, "atomicmix", "")
+}
+
+func TestLockHoldFixture(t *testing.T) {
+	runFixture(t, LockHold, "lockhold", "repro/internal/serve")
+}
+
+func TestLockHoldSkipsOtherPackages(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkg, err := LoadDir(root, filepath.Join(root, "lockhold"))
+	if err != nil || pkg == nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pkg.Path = "repro/internal/knn"
+	if diags := RunPackages([]*Package{pkg}, []*Analyzer{LockHold}); len(diags) != 0 {
+		t.Fatalf("lockhold fired outside internal/serve: %v", diags)
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, CtxFlow, "ctxflow", "repro/internal/serve")
+}
+
+func TestCtxFlowSkipsOtherPackages(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkg, err := LoadDir(root, filepath.Join(root, "ctxflow"))
+	if err != nil || pkg == nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pkg.Path = "repro/internal/linalg"
+	if diags := RunPackages([]*Package{pkg}, []*Analyzer{CtxFlow}); len(diags) != 0 {
+		t.Fatalf("ctxflow fired outside its packages: %v", diags)
+	}
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	runFixture(t, ErrWrap, "errwrap", "")
+}
+
 // parseSrc builds an in-memory single-file package for directive tests.
 func parseSrc(t *testing.T, src string) *Package {
 	t.Helper()
@@ -183,6 +224,74 @@ func cmp(a, b float64) bool {
 	diags := RunPackages([]*Package{pkg}, []*Analyzer{FloatCmp})
 	if len(diags) != 1 {
 		t.Fatalf("want exactly the uncovered comparison reported, got %v", diags)
+	}
+}
+
+// loadTempPkg writes src as a one-file package in a temp dir and loads it
+// with the type-checking loader, so type-aware rules see resolved objects.
+func loadTempPkg(t *testing.T, src string) (string, *Package) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, dir)
+	if err != nil || pkg == nil {
+		t.Fatalf("loading temp package: %v", err)
+	}
+	return dir, pkg
+}
+
+const atomicMixViolation = `package p
+
+import "sync/atomic"
+
+type c struct{ n uint64 }
+
+func bump(x *c) { atomic.AddUint64(&x.n, 1) }
+
+func peek(x *c) uint64 {
+	return x.n %s
+}
+`
+
+func TestDirectiveSuppressesTypeAwareFinding(t *testing.T) {
+	_, pkg := loadTempPkg(t, fmt.Sprintf(atomicMixViolation,
+		"//drlint:ignore atomicmix monitor-only read, torn values acceptable"))
+	res := RunPackagesResult([]*Package{pkg}, []*Analyzer{AtomicMix})
+	if len(res.Diags) != 0 {
+		t.Fatalf("directive did not suppress: %v", res.Diags)
+	}
+	if len(res.Suppressed) != 1 || res.Suppressed[0].Diag.Rule != "atomicmix" {
+		t.Fatalf("suppression not recorded: %+v", res.Suppressed)
+	}
+}
+
+func TestDirectiveWrongRuleDoesNotSuppress(t *testing.T) {
+	_, pkg := loadTempPkg(t, fmt.Sprintf(atomicMixViolation,
+		"//drlint:ignore floatcmp names the wrong rule"))
+	res := RunPackagesResult([]*Package{pkg}, []*Analyzer{AtomicMix})
+	if len(res.Diags) != 1 || res.Diags[0].Rule != "atomicmix" {
+		t.Fatalf("want the atomicmix finding to survive a wrong-rule directive, got %v", res.Diags)
+	}
+	if len(res.Suppressed) != 0 {
+		t.Fatalf("wrong-rule directive recorded a suppression: %+v", res.Suppressed)
+	}
+}
+
+func TestBaselineAbsorbsSuppressedFindingAndFlagsDirective(t *testing.T) {
+	dir, pkg := loadTempPkg(t, fmt.Sprintf(atomicMixViolation,
+		"//drlint:ignore atomicmix monitor-only read, torn values acceptable"))
+	res := RunPackagesResult([]*Package{pkg}, []*Analyzer{AtomicMix})
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("want one suppressed finding, got %+v", res.Suppressed)
+	}
+	// The same finding is also in the baseline: the baseline wins and the
+	// now-pointless directive is itself flagged.
+	b := NewBaseline(dir, []Diagnostic{res.Suppressed[0].Diag})
+	out := Gate(dir, res, b)
+	if len(out) != 1 || out[0].Rule != "drlint" || !strings.Contains(out[0].Message, "redundant") {
+		t.Fatalf("want exactly one redundant-directive finding, got %v", out)
 	}
 }
 

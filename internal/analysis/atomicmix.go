@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces the serving layer's snapshot/counter discipline: once
+// any code path touches a struct field through sync/atomic operations
+// (atomic.AddUint64(&s.epoch, 1), atomic.LoadPointer(&s.p), ...), every
+// access to that field must be atomic. A plain read or write of the same
+// field elsewhere is a data race the -race stress tests can only catch
+// probabilistically — the exact bug class the engine avoids by construction
+// with atomic.Pointer snapshots and atomic.Uint64 counters. Fields declared
+// with the sync/atomic wrapper types are safe by construction (the type
+// system forbids plain access); this rule covers the legacy pattern where a
+// plain-typed field's address is passed to the atomic functions.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "a struct field accessed with sync/atomic operations must never be read or written plainly",
+	NeedsTypes: true,
+	Run:        runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	files := pass.SourceFiles()
+
+	// Pass 1: fields whose address is taken inside a sync/atomic call. The
+	// selector nodes used in those calls are recorded so pass 2 does not
+	// report the atomic sites themselves.
+	atomicFields := map[*types.Var]token.Position{} // field -> first atomic site
+	atomicSites := map[*ast.SelectorExpr]bool{}
+	for _, f := range files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fld := fieldObject(info, sel)
+				if fld == nil {
+					continue
+				}
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = pass.Pkg.Fset.Position(call.Pos())
+				}
+				atomicSites[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other selector resolving to one of those fields is a
+	// plain (non-atomic) access.
+	for _, f := range files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			fld := fieldObject(info, sel)
+			if fld == nil {
+				return true
+			}
+			site, ok := atomicFields[fld]
+			if !ok {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed atomically at %s:%d; every access must go through sync/atomic",
+				fld.Name(), site.Filename, site.Line)
+			return true
+		})
+	}
+}
+
+// isAtomicPkgCall reports whether call invokes a function of sync/atomic
+// (alias-aware: the package identity comes from the type checker, not the
+// identifier spelling).
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldObject resolves sel to the struct field it selects, or nil when sel
+// is not a field selection (package member, method value, ...).
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Baseline is a recorded set of accepted findings: future runs only fail on
+// findings not in it, so a new rule can land before every historical
+// violation is fixed. Entries are keyed by (file, rule, message) — not line
+// numbers, which shift on every edit — with a count per key so adding a
+// second identical violation in the same file is still caught.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineEntry is one record of the on-disk format.
+type baselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+func baselineKey(f Finding) string {
+	return f.File + "\x00" + f.Rule + "\x00" + f.Message
+}
+
+// NewBaseline records the given findings (paths relativized against root).
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	b := &Baseline{counts: map[string]int{}}
+	for _, f := range ToFindings(root, diags) {
+		b.counts[baselineKey(f)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by Write.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s has unsupported version %d", path, bf.Version)
+	}
+	b := &Baseline{counts: map[string]int{}}
+	for _, e := range bf.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.counts[baselineKey(Finding{File: e.File, Rule: e.Rule, Message: e.Message})] += n
+	}
+	return b, nil
+}
+
+// Len returns the number of accepted findings (counting multiplicity).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Write emits the baseline in its stable on-disk form (sorted entries).
+func (b *Baseline) Write(w io.Writer) error {
+	type keyed struct {
+		entry baselineEntry
+		key   string
+	}
+	var entries []keyed
+	for k, c := range b.counts {
+		var e baselineEntry
+		e.Count = c
+		parts := splitBaselineKey(k)
+		e.File, e.Rule, e.Message = parts[0], parts[1], parts[2]
+		entries = append(entries, keyed{entry: e, key: k})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	bf := baselineFile{Version: 1, Findings: make([]baselineEntry, 0, len(entries))}
+	for _, e := range entries {
+		bf.Findings = append(bf.Findings, e.entry)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+func splitBaselineKey(k string) [3]string {
+	var out [3]string
+	idx := 0
+	start := 0
+	for i := 0; i < len(k) && idx < 2; i++ {
+		if k[i] == 0 {
+			out[idx] = k[start:i]
+			idx++
+			start = i + 1
+		}
+	}
+	out[2] = k[start:]
+	return out
+}
+
+// Filter returns the findings not absorbed by the baseline: for each
+// (file, rule, message) key, occurrences beyond the baseline count are new.
+func (b *Baseline) Filter(root string, diags []Diagnostic) []Diagnostic {
+	seen := map[string]int{}
+	var out []Diagnostic
+	for _, d := range diags {
+		f := ToFindings(root, []Diagnostic{d})[0]
+		k := baselineKey(f)
+		seen[k]++
+		if seen[k] > b.counts[k] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the baseline has at least one entry for the
+// diagnostic's key.
+func (b *Baseline) Contains(root string, d Diagnostic) bool {
+	f := ToFindings(root, []Diagnostic{d})[0]
+	return b.counts[baselineKey(f)] > 0
+}
+
+// Gate applies the baseline to a run's result and returns the findings
+// that should fail the build:
+//
+//   - active findings not absorbed by the baseline, and
+//   - redundant-directive reports: a finding that is both in the baseline
+//     and suppressed by a //drlint:ignore directive is absorbed by the
+//     baseline (baseline wins), and the now-pointless directive is itself
+//     flagged so suppressions do not accrete.
+//
+// With a nil baseline the active findings pass through unchanged.
+func Gate(root string, res RunResult, b *Baseline) []Diagnostic {
+	if b == nil {
+		return res.Diags
+	}
+	out := b.Filter(root, res.Diags)
+	for _, s := range res.Suppressed {
+		if b.Contains(root, s.Diag) {
+			out = append(out, Diagnostic{
+				Pos:  s.DirectivePos,
+				Rule: "drlint",
+				Message: fmt.Sprintf("redundant //drlint:ignore: the suppressed %s finding is already in the baseline (baseline wins; drop the directive or the baseline entry)",
+					s.Diag.Rule),
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiags() []Diagnostic {
+	return []Diagnostic{
+		{Pos: token.Position{Filename: "internal/serve/engine.go", Line: 10, Column: 2}, Rule: "lockhold", Message: "channel send while holding mu; release the lock before blocking"},
+		{Pos: token.Position{Filename: "internal/serve/engine.go", Line: 50, Column: 4}, Rule: "ctxflow", Message: "context.Background() outside main/tests discards the caller's deadline and cancellation; accept and propagate a context.Context instead"},
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := NewBaseline("", baselineDiags())
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("round trip changed Len: wrote %d, read %d", b.Len(), got.Len())
+	}
+	if out := got.Filter("", baselineDiags()); len(out) != 0 {
+		t.Fatalf("reloaded baseline does not absorb its own findings: %v", out)
+	}
+}
+
+// TestBaselineFilterCounts: baseline keys are (file, rule, message) with a
+// count, not line numbers — moving a finding is absorbed, duplicating it is
+// not.
+func TestBaselineFilterCounts(t *testing.T) {
+	diags := baselineDiags()
+	b := NewBaseline("", diags)
+
+	// Same findings on different lines: absorbed.
+	moved := baselineDiags()
+	moved[0].Pos.Line = 99
+	if out := b.Filter("", moved); len(out) != 0 {
+		t.Fatalf("line move not absorbed: %v", out)
+	}
+
+	// A second occurrence of a recorded (file, rule, message) key is new.
+	dup := append(baselineDiags(), baselineDiags()[0])
+	out := b.Filter("", dup)
+	if len(out) != 1 || out[0].Rule != "lockhold" {
+		t.Fatalf("want the duplicated finding flagged as new, got %v", out)
+	}
+
+	// A different message is new.
+	fresh := baselineDiags()
+	fresh[1].Message = "something else"
+	out = b.Filter("", fresh)
+	if len(out) != 1 || out[0].Rule != "ctxflow" {
+		t.Fatalf("want the changed finding flagged as new, got %v", out)
+	}
+}
+
+func TestGateNilBaselinePassesThrough(t *testing.T) {
+	res := RunResult{Diags: baselineDiags()}
+	out := Gate("", res, nil)
+	if len(out) != len(res.Diags) {
+		t.Fatalf("nil baseline changed the findings: %v", out)
+	}
+}
+
+func TestBaselineVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 2, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("unsupported baseline version accepted")
+	}
+}
+
+// TestShippedBaselineIsEmpty keeps the committed baseline honest: the tree
+// lints clean, so the shipped file must record zero accepted findings.
+func TestShippedBaselineIsEmpty(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(filepath.Join(root, ".drlint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("shipped baseline records %d finding(s); fix them instead", b.Len())
+	}
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// BenchmarkDrlintModule measures one full drlint pass over the module:
+// parse every package, type-check it with the file-system importer, and run
+// all eight analyzers. This is the cost `go test ./...` and CI pay on every
+// run, so scripts/bench.sh records it next to the numeric kernels.
+func BenchmarkDrlintModule(b *testing.B) {
+	root, err := moduleRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := RunModule(root, All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Diags) != 0 {
+			b.Fatalf("module has findings: %v", res.Diags)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the serving layer's error contract: the typed sentinel
+// family (serve.ErrOverloaded, ErrDeadline, ErrClosed, ErrDims — any
+// module-level `var ErrX = ...` implementing error) is part of the public
+// API, and callers branch on it. That contract survives wrapping only if
+// everyone plays by errors.Is/%w:
+//
+//   - comparing a returned error to a sentinel with == or != (or a switch
+//     case) breaks the moment any layer wraps the error with context, which
+//     the engine does ("%w (while awaiting result: ...)");
+//   - wrapping a sentinel with %v or %s instead of %w severs the errors.Is
+//     chain for every caller downstream;
+//   - string-matching on Error() text couples callers to message wording
+//     that carries no compatibility promise.
+var ErrWrap = &Analyzer{
+	Name:       "errwrap",
+	Doc:        "module sentinel errors must be compared with errors.Is and wrapped with %w — never ==/!=, switch cases, or string matching",
+	NeedsTypes: true,
+	Run:        runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if s := sentinelObj(info, x.X); s != nil {
+					pass.Reportf(x.OpPos, "sentinel %s compared with %s; use errors.Is so wrapped errors still match", s.Name(), x.Op)
+					return true
+				}
+				if s := sentinelObj(info, x.Y); s != nil {
+					pass.Reportf(x.OpPos, "sentinel %s compared with %s; use errors.Is so wrapped errors still match", s.Name(), x.Op)
+					return true
+				}
+				if errorTextCall(info, x.X) || errorTextCall(info, x.Y) {
+					pass.Reportf(x.OpPos, "string comparison on Error() text; branch with errors.Is on a sentinel instead")
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil || !isErrorType(info.TypeOf(x.Tag)) {
+					return true
+				}
+				for _, c := range x.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinelObj(info, e); s != nil {
+							pass.Reportf(e.Pos(), "sentinel %s in a switch case compares with ==; use errors.Is so wrapped errors still match", s.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, info, x)
+				checkStringMatch(pass, info, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format a sentinel with a
+// verb other than %w.
+func checkErrorfWrap(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	if !isPkgCall(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args[1:] {
+		s := sentinelObj(info, arg)
+		if s == nil {
+			continue
+		}
+		if i >= len(verbs) || verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "sentinel %s wrapped without %%w; errors.Is cannot match through this wrap", s.Name())
+		}
+	}
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/... applied to Error()
+// text.
+func checkStringMatch(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	if !isPkgCallAny(info, call, "strings", "Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index") {
+		return
+	}
+	for _, arg := range call.Args {
+		if errorTextCall(info, arg) {
+			pass.Reportf(call.Pos(), "string matching on Error() text; branch with errors.Is on a sentinel instead")
+			return
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a fmt format string in argument
+// order. Returns ok=false on explicit argument indexes ("%[1]v"), which
+// this scanner does not model.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '[':
+			return nil, false
+		default:
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// sentinelObj resolves e to a module-declared sentinel error variable
+// (package-level `var ErrX ...` whose type implements error), or nil.
+func sentinelObj(info *types.Info, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	case *ast.ParenExpr:
+		return sentinelObj(info, x.X)
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	// Module-declared, package-level, error-typed.
+	path := v.Pkg().Path()
+	if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// errorTextCall reports whether e is a call to the Error() string method of
+// an error value.
+func errorTextCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// isPkgCall reports whether call is pkgPath.name(...), alias-aware.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+func isPkgCallAny(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	for _, n := range names {
+		if isPkgCall(info, call, pkgPath, n) {
+			return true
+		}
+	}
+	return false
+}

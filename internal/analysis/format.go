@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Finding is the machine-readable form of a Diagnostic, with the file path
+// made module-relative (forward slashes) so output is stable across
+// machines and checkouts.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the document `drlint -format json` emits.
+type jsonReport struct {
+	Version  int       `json:"version"`
+	Count    int       `json:"count"`
+	Findings []Finding `json:"findings"`
+}
+
+// relPath makes filename module-relative with forward slashes; paths
+// outside root pass through unchanged.
+func relPath(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// ToFindings converts diagnostics to their machine-readable form, with
+// paths relative to root.
+func ToFindings(root string, diags []Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, Finding{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
+// WriteText prints diagnostics in the classic file:line:col form.
+func WriteText(w io.Writer, root string, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n",
+			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the findings as a JSON document.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	rep := jsonReport{Version: 1, Count: len(diags), Findings: ToFindings(root, diags)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Minimal SARIF 2.1.0 document structure — enough for GitHub code scanning
+// upload (github/codeql-action/upload-sarif) to annotate PRs inline.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 document. The rule table
+// covers every analyzer passed in plus the reserved "typecheck" and
+// "drlint" (directive hygiene) rules, so result ruleIds always resolve.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, diags []Diagnostic) error {
+	driver := sarifDriver{
+		Name:           "drlint",
+		InformationURI: "https://github.com/paper-repro/drlint",
+	}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	driver.Rules = append(driver.Rules,
+		sarifRule{ID: "typecheck", ShortDescription: sarifMessage{Text: "the package must type-check with go/types"}},
+		sarifRule{ID: "drlint", ShortDescription: sarifMessage{Text: "//drlint:ignore directives must be well-formed, justified, and not redundant"}},
+	)
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		line, col := d.Pos.Line, d.Pos.Column
+		if line < 1 {
+			line = 1
+		}
+		if col < 1 {
+			col = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

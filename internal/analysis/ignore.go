@@ -67,7 +67,9 @@ func parseDirectives(pkg *Package, f File, report func(Diagnostic)) []directive 
 
 // filterIgnored removes diagnostics suppressed by a directive on the same
 // line or the line above, and appends diagnostics for malformed directives.
-func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+// Suppressed findings are returned alongside the directive that silenced
+// them, so baseline gating can flag redundant directives.
+func filterIgnored(pkg *Package, diags []Diagnostic) ([]Diagnostic, []Suppressed) {
 	// fileDirectives: filename -> directives in that file.
 	fileDirectives := map[string][]directive{}
 	var extra []Diagnostic
@@ -76,11 +78,13 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 		fileDirectives[name] = parseDirectives(pkg, f, func(d Diagnostic) { extra = append(extra, d) })
 	}
 	out := diags[:0]
+	var sup []Suppressed
 	for _, d := range diags {
 		suppressed := false
 		for _, dir := range fileDirectives[d.Pos.Filename] {
 			if dir.covers(d.Rule) && (dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
 				suppressed = true
+				sup = append(sup, Suppressed{Diag: d, DirectivePos: pkg.Fset.Position(dir.pos)})
 				break
 			}
 		}
@@ -88,5 +92,5 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 			out = append(out, d)
 		}
 	}
-	return append(out, extra...)
+	return append(out, extra...), sup
 }

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestKernelBuildConstraints pins the loader's build-constraint handling to
+// the one case that matters for type-checking this module: internal/linalg
+// pairs kernel_amd64.go (//go:build amd64) with kernel_noasm.go
+// (//go:build !amd64), and exactly one of them — the right one for the host
+// GOARCH — may survive parsing, or the type check sees two conflicting
+// implementations of the same functions.
+func TestKernelBuildConstraints(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(root, filepath.Join(root, "internal", "linalg"))
+	if err != nil || pkg == nil {
+		t.Fatalf("loading internal/linalg: %v", err)
+	}
+	want := "kernel_noasm.go"
+	if runtime.GOARCH == "amd64" {
+		want = "kernel_amd64.go"
+	}
+	var kernels []string
+	for _, f := range pkg.Files {
+		base := filepath.Base(f.Name)
+		if base == "kernel_amd64.go" || base == "kernel_noasm.go" {
+			kernels = append(kernels, base)
+		}
+	}
+	if len(kernels) != 1 || kernels[0] != want {
+		t.Fatalf("GOARCH=%s: want exactly [%s] to survive build constraints, got %v",
+			runtime.GOARCH, want, kernels)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("internal/linalg does not type-check: %v", pkg.TypeErrors)
+	}
+}
+
+func TestBuildFileIncluded(t *testing.T) {
+	amd := runtime.GOARCH == "amd64"
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"plain.go", "package p\n", true},
+		{"kernel_amd64.go", "//go:build amd64\n\npackage p\n", amd},
+		{"kernel_noasm.go", "//go:build !amd64\n\npackage p\n", !amd},
+		// Filename suffix alone constrains, even without a //go:build line.
+		{"x_" + runtime.GOARCH + ".go", "package p\n", true},
+		{"x_wasm.go", "package p\n", runtime.GOARCH == "wasm"},
+		{"x_windows.go", "package p\n", runtime.GOOS == "windows"},
+		{"x_" + runtime.GOOS + "_" + runtime.GOARCH + ".go", "package p\n", true},
+		// A //go:build line on an unconstrained filename.
+		{"y.go", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"y.go", "//go:build ignore\n\npackage p\n", false},
+		// Legacy +build lines are honored when no //go:build is present.
+		{"z.go", "// +build ignore\n\npackage p\n", false},
+		// Constraints must precede the package clause.
+		{"w.go", "package p\n\n//go:build ignore\n", true},
+	}
+	for _, c := range cases {
+		if got := buildFileIncluded(c.name, []byte(c.src)); got != c.want {
+			t.Errorf("buildFileIncluded(%q, %q) = %v, want %v", c.name, c.src, got, c.want)
+		}
+	}
+}
+
+// TestModuleTypeChecksClean is the tentpole's acceptance check in test
+// form: the type-checking loader resolves every package of the module with
+// zero go/types errors.
+func TestModuleTypeChecksClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := 0
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: %v", p.Path, e)
+		}
+		if p.TypesInfo != nil {
+			typed++
+		}
+	}
+	if typed == 0 {
+		t.Fatal("no package was type-checked")
+	}
+	for _, p := range pkgs {
+		if !strings.HasPrefix(p.Path, modulePath) {
+			t.Errorf("package %s: import path lacks the %s module prefix", p.Path, modulePath)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Fixture for the atomicmix rule: once a struct field's address is passed
+// to sync/atomic, every access to that field must be atomic.
+package atomicmix
+
+import "sync/atomic"
+
+type counterSet struct {
+	served uint64
+	epoch  uint64
+	name   string // never touched atomically; plain access is fine
+}
+
+func (c *counterSet) record() {
+	atomic.AddUint64(&c.served, 1)
+	atomic.StoreUint64(&c.epoch, 7)
+}
+
+func (c *counterSet) snapshot() (uint64, string) {
+	n := c.served // want "plain access to field served"
+	c.epoch = 0   // want "plain access to field epoch"
+	return n + atomic.LoadUint64(&c.epoch), c.name
+}
+
+// A justified directive suppresses the finding on its line.
+func (c *counterSet) debugPeek() uint64 {
+	return c.served //drlint:ignore atomicmix monitor-only read, torn values acceptable
+}
+
+// wrapped uses the sync/atomic wrapper types: safe by construction, the
+// rule has nothing to say.
+type wrapped struct {
+	served atomic.Uint64
+}
+
+func (w *wrapped) bump() uint64 {
+	w.served.Add(1)
+	return w.served.Load()
+}

@@ -1,0 +1,50 @@
+// Fixture for the ctxflow rule: context roots belong in main and tests
+// only, and an exported function that accepts a context must hand that
+// context (or a derivative) to the context-accepting calls it makes.
+// Loaded with a pretend import path under internal/serve.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+type engine struct{}
+
+func (e *engine) search(ctx context.Context, k int) error { return ctx.Err() }
+
+// A fresh root context discards the caller's deadline.
+func Verify(e *engine) error {
+	return e.search(context.Background(), 10) // want "context.Background\(\) outside main/tests"
+}
+
+func Drive(ctx context.Context, e *engine) error {
+	return e.search(context.TODO(), 1) // want "context.TODO\(\) outside main/tests"
+}
+
+type server struct {
+	base context.Context
+}
+
+// A stored context is not the caller's: the deadline is dropped even
+// though the compiler is satisfied.
+func (s *server) Run(ctx context.Context, e *engine) error {
+	return e.search(s.base, 2) // want "not derived from Run's context parameter"
+}
+
+// Good: direct propagation.
+func Exec(ctx context.Context, e *engine) error {
+	return e.search(ctx, 4)
+}
+
+// Good: a derived context counts as propagation.
+func ExecTimed(ctx context.Context, e *engine, d time.Duration) error {
+	tctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return e.search(tctx, 4)
+}
+
+// Good: inline derivation propagates too.
+func ExecValue(ctx context.Context, e *engine) error {
+	return e.search(context.WithValue(ctx, struct{}{}, 1), 4)
+}

@@ -1,0 +1,98 @@
+// Fixture for the lockhold rule: no blocking operations while a
+// sync.Mutex/RWMutex is held. Loaded with a pretend import path under
+// internal/serve, where the rule applies.
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type engine struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	state int
+	ch    chan int
+	wg    sync.WaitGroup
+}
+
+func (e *engine) slowUpdate() {
+	e.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding mu"
+	e.mu.Unlock()
+}
+
+// A deferred unlock keeps the mutex held through the receive — exactly the
+// shape the rule exists for.
+func (e *engine) deferRecv() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return <-e.ch // want "channel receive while holding mu"
+}
+
+func (e *engine) sendLocked(v int) {
+	e.rw.RLock()
+	e.ch <- v // want "channel send while holding rw"
+	e.rw.RUnlock()
+}
+
+func (e *engine) joinLocked() {
+	e.mu.Lock()
+	e.wg.Wait() // want "sync Wait while holding mu"
+	e.mu.Unlock()
+}
+
+func (e *engine) selectLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want "select without a default case while holding mu"
+	case v := <-e.ch:
+		e.state = v
+	case e.ch <- e.state:
+	}
+}
+
+// Blocking propagates through same-package calls: drain blocks, so calling
+// it under the lock is flagged.
+func (e *engine) helperBlocked() {
+	e.mu.Lock()
+	e.drain() // want "call to blocking function drain while holding mu"
+	e.mu.Unlock()
+}
+
+func (e *engine) drain() {
+	for range e.ch {
+	}
+}
+
+// Good: release before blocking.
+func (e *engine) unlockThenRecv() int {
+	e.mu.Lock()
+	e.state++
+	e.mu.Unlock()
+	return <-e.ch
+}
+
+// Good: a select with a default case never blocks.
+func (e *engine) tryReserve() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// Good: every surviving branch releases the lock before the receive.
+func (e *engine) branchRelease(fast bool) int {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+	} else {
+		e.state++
+		e.mu.Unlock()
+	}
+	return <-e.ch
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// checker type-checks loaded packages. Module-internal imports ("repro/...")
+// are resolved by parsing and checking the imported directory under the same
+// module root; everything else (the stdlib) is resolved by the source
+// importer, which type-checks $GOROOT/src on demand. One checker — and one
+// stdlib cache — is shared across every package of a Load call, so the
+// stdlib is checked at most once per run.
+type checker struct {
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	done    map[string]*types.Package // completed checks by import path
+	loading map[string]bool           // cycle guard
+	byPath  map[string]*Package       // parsed packages awaiting a check
+}
+
+func newChecker(root string, fset *token.FileSet) *checker {
+	return &checker{
+		root:    root,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		done:    map[string]*types.Package{},
+		loading: map[string]bool{},
+		byPath:  map[string]*Package{},
+	}
+}
+
+// Import implements types.Importer over the module + stdlib split.
+func (c *checker) Import(path string) (*types.Package, error) {
+	if p, ok := c.done[path]; ok {
+		return p, nil
+	}
+	if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+		p, err := c.std.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		c.done[path] = p
+		return p, nil
+	}
+	pkg := c.byPath[path]
+	if pkg == nil {
+		// A dependency outside the requested load set (e.g. a subtree run
+		// importing a sibling package): parse it on demand.
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/")
+		if rel == "" {
+			rel = "."
+		}
+		var err error
+		pkg, err = parseDir(c.root, filepath.Join(c.root, rel), c.fset)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files for import %q", path)
+		}
+		c.byPath[path] = pkg
+	}
+	if err := c.check(pkg); err != nil {
+		return nil, err
+	}
+	if pkg.Types == nil {
+		return nil, fmt.Errorf("analysis: import %q has no non-test Go files", path)
+	}
+	return pkg.Types, nil
+}
+
+// check type-checks pkg's non-test files, attaching Types, TypesInfo, and
+// any type errors to the package. Packages with no non-test files are left
+// untyped (TypesInfo nil); type-aware analyzers skip them.
+func (c *checker) check(pkg *Package) error {
+	if pkg.Types != nil || len(pkg.TypeErrors) > 0 {
+		return nil
+	}
+	if c.loading[pkg.Path] {
+		return fmt.Errorf("analysis: import cycle through %q", pkg.Path)
+	}
+	c.loading[pkg.Path] = true
+	defer delete(c.loading, pkg.Path)
+
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{
+		Importer: c,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tp, err := cfg.Check(pkg.Path, c.fset, files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tp
+	pkg.TypesInfo = info
+	c.done[pkg.Path] = tp
+	return nil
+}
+
+// typecheckAll checks every package in pkgs, recording failures as type
+// errors on the package rather than aborting the run.
+func typecheckAll(chk *checker, pkgs []*Package) {
+	for _, pkg := range pkgs {
+		if err := chk.check(pkg); err != nil {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		}
+	}
+}
+
+// typeErrorDiagnostics converts a package's go/types errors into findings
+// under the reserved rule name "typecheck", so a tree the compiler would
+// reject cannot slip past the lint gate (and analyzers running on partial
+// type information are visible rather than silent).
+func typeErrorDiagnostics(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, err := range pkg.TypeErrors {
+		d := Diagnostic{Rule: "typecheck"}
+		if te, ok := err.(types.Error); ok {
+			d.Pos = te.Fset.Position(te.Pos)
+			d.Message = te.Msg
+		} else {
+			d.Pos = token.Position{Filename: filepath.Join(pkg.Dir, "?")}
+			d.Message = err.Error()
+		}
+		out = append(out, d)
+	}
+	return out
+}

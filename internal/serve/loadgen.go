@@ -76,8 +76,9 @@ type LoadReport struct {
 // issuing cfg.Queries requests total, cycling deterministically through the
 // rows of queries. Request i is owned by client i%Concurrency, so outcome
 // slots are written without coordination and double-completion is
-// structurally detectable.
-func RunLoad(e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, error) {
+// structurally detectable. Per-request contexts derive from ctx, so the
+// caller's cancellation propagates into every in-flight request.
+func RunLoad(ctx context.Context, e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, error) {
 	c := cfg.withDefaults()
 	nq := queries.Rows()
 	if nq == 0 {
@@ -119,12 +120,12 @@ func RunLoad(e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, erro
 				if tick != nil {
 					<-tick
 				}
-				ctx := context.Background()
+				rctx := ctx
 				cancel := func() {}
 				if c.Deadline > 0 {
-					ctx, cancel = context.WithTimeout(ctx, c.Deadline)
+					rctx, cancel = context.WithTimeout(ctx, c.Deadline)
 				}
-				res, err := e.SearchMode(ctx, queries.RawRow(i%nq), c.K, c.Mode)
+				res, err := e.SearchMode(rctx, queries.RawRow(i%nq), c.K, c.Mode)
 				cancel()
 				writes[i]++
 				switch {

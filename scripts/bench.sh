@@ -16,10 +16,13 @@ benchtime=${2:-5x}
 serveout=${3:-BENCH_serve.json}
 
 # Never record numbers from a tree that violates the repo's own invariants:
-# an unguarded kernel or a global-rand call site makes the measurement
-# unreproducible, so the JSON would be untrustworthy.
-if ! go run ./cmd/drlint ./...; then
-  echo "bench.sh: drlint found violations; refusing to record benchmarks" >&2
+# an unguarded kernel, a global-rand call site, or a lock held across a
+# blocking call makes the measurement unreproducible or unrepresentative, so
+# the JSON would be untrustworthy. The run is gated against the committed
+# baseline (new findings fail; recorded ones do not) and emits JSON so the
+# verdict is machine-readable next to the benchmark output.
+if ! go run ./cmd/drlint -format json -baseline .drlint-baseline.json ./...; then
+  echo "bench.sh: drlint found new violations; refusing to record benchmarks" >&2
   exit 1
 fi
 
@@ -36,6 +39,9 @@ go test -run=NONE -benchtime="$benchtime" \
   -bench='^(BenchmarkPairwiseSq1024x166|BenchmarkSearchSetParallel6598x166|BenchmarkSearchSetBatch6598x166)$' \
   ./internal/knn/ >>"$tmp"
 go test -run=NONE -benchtime="$benchtime" -bench='^BenchmarkLSHQueryD166$' . >>"$tmp"
+# One full drlint pass (parse + type-check + all eight rules): the cost CI
+# and `go test ./...` pay per run, recorded so regressions are visible.
+go test -run=NONE -benchtime=1x -bench='^BenchmarkDrlintModule$' ./internal/analysis/ >>"$tmp"
 
 awk -v out="$out" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
