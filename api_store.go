@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"repro/internal/dataset/synthetic"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// This file exposes the quantized vector store: a block-major, mmap-backed
+// on-disk format with per-dimension scalar quantization and two-phase
+// search (SIMD quantized scan, exact float64 rescore). `drtool
+// -store-bench` and `datagen -bin` are the CLI front ends.
+
+// VectorStore is an opened quantized store. Search runs the two-phase scan;
+// a rescore budget of Len() makes results bit-identical to SearchSetBatch.
+type VectorStore = store.Store
+
+// StoreConfig parameterizes store construction: code precision, optional
+// float32-precision leading dimensions, a storage-order permutation (e.g.
+// coherence order, so high-coherence dimensions stay full precision), and
+// block granularity.
+type StoreConfig = store.BuildConfig
+
+// StorePrecision selects the quantized code width.
+type StorePrecision = store.Precision
+
+// Store precisions: one byte or two bytes per quantized dimension.
+const (
+	StoreInt8  = store.Int8
+	StoreInt16 = store.Int16
+)
+
+// StoreWriter streams rows into a store file with O(d) memory.
+type StoreWriter = store.Writer
+
+// StoreScales accumulates per-dimension min/max over streamed rows — the
+// first pass of a two-pass streaming build.
+type StoreScales = store.ScaleAccumulator
+
+// WriteStore quantizes data into a store file at path.
+func WriteStore(path string, data *Matrix, cfg StoreConfig) error {
+	return store.Write(path, data, cfg)
+}
+
+// OpenStore maps a store file for searching.
+func OpenStore(path string) (*VectorStore, error) { return store.Open(path) }
+
+// CreateStore opens a streaming writer for n rows of d dimensions;
+// cfg.Mins/cfg.Steps must carry precomputed scales (see NewStoreScales).
+func CreateStore(path string, n, d int, cfg StoreConfig) (*StoreWriter, error) {
+	return store.Create(path, n, d, cfg)
+}
+
+// NewStoreScales starts a scale accumulation over d-dimensional rows.
+func NewStoreScales(d int) *StoreScales { return store.NewScaleAccumulator(d) }
+
+// NewEngineFromStore builds a sharded serving engine whose shards scan a
+// quantized store: exact mode is bit-identical to SearchSetBatch (full
+// rescore), approximate mode caps per-shard rescoring at cfg.Rescore.
+func NewEngineFromStore(st *VectorStore, cfg ServeConfig) (*Engine, error) {
+	return serve.NewFromStore(st, cfg)
+}
+
+// RowStream generates a synthetic data set row by row with O(d) memory; its
+// rows are bit-identical to Generate on the same config, and Reset replays
+// them, enabling two-pass streaming store builds at million-point scale.
+type RowStream = synthetic.RowStream
+
+// NewRowStream validates the config and prepares the stream.
+func NewRowStream(c LatentFactorConfig) (*RowStream, error) { return synthetic.NewRowStream(c) }

@@ -1,12 +1,19 @@
 // Command datagen writes the synthetic data-set analogues used by the
 // experiment suite to CSV files, so they can be inspected or fed to other
-// tools (including drtool).
+// tools (including drtool), or streams large musk-like sets straight into
+// the quantized store format (internal/store).
 //
 // Usage:
 //
 //	datagen [-seed N] [-dir DIR] [-set name]
+//	datagen -bin out.qvs -n N -d D [-seed N] [-prec int8|int16] [-full F] [-block B]
 //
 // Set names: musk, ionosphere, arrhythmia, noisy-a, noisy-b, uniform, all.
+//
+// The -bin mode scales the musk-like latent-factor model to N points in D
+// dimensions and writes the store file in two streaming passes (a scale
+// pass and an encode pass), so peak memory stays O(D) regardless of N —
+// a million-point set never materializes a float64 matrix.
 package main
 
 import (
@@ -16,13 +23,29 @@ import (
 	"path/filepath"
 
 	repro "repro"
+	"repro/internal/dataset/synthetic"
+	"repro/internal/store"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
-	dir := flag.String("dir", ".", "output directory")
-	set := flag.String("set", "all", "which data set to emit")
+	dir := flag.String("dir", ".", "output directory (CSV mode)")
+	set := flag.String("set", "all", "which data set to emit (CSV mode)")
+	bin := flag.String("bin", "", "write a quantized store file to this path instead of CSVs")
+	n := flag.Int("n", 0, "number of points (store mode)")
+	d := flag.Int("d", 0, "dimensionality (store mode)")
+	prec := flag.String("prec", "int8", "code precision: int8 or int16 (store mode)")
+	full := flag.Int("full", 0, "leading storage dims kept at float32 (store mode)")
+	block := flag.Int("block", 0, "rows per code block, 0 = default (store mode)")
 	flag.Parse()
+
+	if *bin != "" {
+		if err := writeStore(*bin, *n, *d, *seed, *prec, *full, *block); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sets := map[string]func() *repro.Dataset{
 		"musk":       func() *repro.Dataset { return repro.MuskLike(*seed) },
@@ -53,6 +76,67 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%s)\n", path, ds)
 	}
+}
+
+// writeStore streams a musk-like set of n x d points into a store file.
+func writeStore(path string, n, d int, seed int64, prec string, full, block int) error {
+	if n <= 0 || d <= 0 {
+		return fmt.Errorf("store mode needs -n and -d (got n=%d d=%d)", n, d)
+	}
+	cfg := store.BuildConfig{FullDims: full, BlockRows: block}
+	switch prec {
+	case "int8":
+		cfg.Precision = store.Int8
+	case "int16":
+		cfg.Precision = store.Int16
+	default:
+		return fmt.Errorf("unknown -prec %q (want int8 or int16)", prec)
+	}
+
+	gen := synthetic.MuskLikeConfig(seed)
+	gen.Name = fmt.Sprintf("musk-like-%dx%d", n, d)
+	gen.N = n
+	gen.Dims = d
+	if len(gen.ConceptStrengths) > d {
+		gen.ConceptStrengths = gen.ConceptStrengths[:d]
+	}
+	stream, err := synthetic.NewRowStream(gen)
+	if err != nil {
+		return err
+	}
+
+	// Pass 1: per-dimension min/max for the quantization scales.
+	acc := store.NewScaleAccumulator(d)
+	for i := 0; i < n; i++ {
+		row, _ := stream.Next()
+		acc.Add(row)
+	}
+	cfg.Mins, cfg.Steps = acc.Scales(cfg.Precision)
+
+	// Pass 2: replay the identical rows into the fixed-layout file.
+	if err := stream.Reset(); err != nil {
+		return err
+	}
+	w, err := store.Create(path, n, d, cfg)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row, _ := stream.Next()
+		if err := w.Append(row); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d x %d, %s, %d bytes)\n", path, n, d, prec, st.Size())
+	return nil
 }
 
 func write(path string, ds *repro.Dataset) error {

@@ -12,6 +12,17 @@
 //	       [-serve-shards P] [-serve-workers W] [-serve-queue Q] [-serve-qps R]
 //	       [-serve-deadline MS] [-serve-mode auto|exact|approx] [-serve-verify N]
 //	       [-serve-seed S] [-serve-out report.json]
+//	drtool -store-bench [-store path.qvs] [-store-n N] [-store-d D]
+//	       [-store-prec int8|int16] [-store-full F] [-store-queries Q]
+//	       [-store-rescore R] [-store-verify N] [-store-requests N]
+//	       [-store-seed S] [-store-out report.json]
+//
+// -store-bench stream-builds a quantized vector store over the musk-like
+// distribution at the requested scale (reusing the file if it exists),
+// verifies the store-backed engine's exact path bit-identical to
+// SearchSetBatch, measures recall@k of the budgeted approximate path
+// against exact ground truth, then reports serving throughput and resident
+// memory after the full-precision region is dropped from the page cache.
 //
 // The input's label column (default: last) is the semantic class used by the
 // feature-stripped quality measurement; it is never part of the features.
@@ -63,6 +74,20 @@ type options struct {
 	serveVerify      int
 	serveSeed        int64
 	serveOut         string
+
+	storeBench     bool
+	storePath      string
+	storeN         int
+	storeD         int
+	storePrec      string
+	storeFull      int
+	storeQueries   int
+	storeRescore   int
+	storeVerify    int
+	storeRequests  int
+	storeSeed      int64
+	storeOut       string
+	storeMinRecall float64
 }
 
 func main() {
@@ -95,8 +120,28 @@ func main() {
 	flag.IntVar(&o.serveVerify, "serve-verify", 64, "serve-bench: queries checked bit-identical to SearchSetBatch")
 	flag.Int64Var(&o.serveSeed, "serve-seed", 1, "serve-bench: workload and LSH seed")
 	flag.StringVar(&o.serveOut, "serve-out", "", "serve-bench: write a JSON report here (e.g. BENCH_serve.json)")
+	flag.BoolVar(&o.storeBench, "store-bench", false, "build, serve and bench a quantized vector store on the musk-like workload")
+	flag.StringVar(&o.storePath, "store", "", "store-bench: store file path (reused if it exists; empty = temp file)")
+	flag.IntVar(&o.storeN, "store-n", 1_000_000, "store-bench: data points")
+	flag.IntVar(&o.storeD, "store-d", 166, "store-bench: dimensions")
+	flag.StringVar(&o.storePrec, "store-prec", "int8", "store-bench: code precision, int8 or int16")
+	flag.IntVar(&o.storeFull, "store-full", 0, "store-bench: leading storage dims kept at float32")
+	flag.IntVar(&o.storeQueries, "store-queries", 32, "store-bench: held-out query rows (recall probe set)")
+	flag.IntVar(&o.storeRescore, "store-rescore", 2000, "store-bench: per-shard exact-rescore budget of the approximate path")
+	flag.IntVar(&o.storeVerify, "store-verify", 4, "store-bench: queries checked bit-identical to SearchSetBatch via the exact path")
+	flag.IntVar(&o.storeRequests, "store-requests", 100, "store-bench: timed throughput requests")
+	flag.Int64Var(&o.storeSeed, "store-seed", 1, "store-bench: generator seed")
+	flag.StringVar(&o.storeOut, "store-out", "", "store-bench: write a JSON report here (e.g. BENCH_store.json)")
+	flag.Float64Var(&o.storeMinRecall, "store-min-recall", 0, "store-bench: fail unless recall@k reaches this (0 = report only)")
 	flag.Parse()
 
+	if o.storeBench {
+		if err := runStoreBench(context.Background(), os.Stdout, o); err != nil {
+			fmt.Fprintf(os.Stderr, "drtool: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if o.serveBench {
 		if err := runServeBench(context.Background(), os.Stdout, o); err != nil {
 			fmt.Fprintf(os.Stderr, "drtool: %v\n", err)

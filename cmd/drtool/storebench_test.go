@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// storeBenchOptions is a CLI configuration small enough for CI.
+func storeBenchOptions() options {
+	return options{
+		neighbors:     10,
+		storeBench:    true,
+		storeN:        4000,
+		storeD:        48,
+		storePrec:     "int8",
+		storeQueries:  12,
+		storeRescore:  400,
+		storeVerify:   3,
+		storeRequests: 30,
+		storeSeed:     1,
+	}
+}
+
+func TestStoreBenchSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "store.json")
+	o := storeBenchOptions()
+	o.storePath = filepath.Join(dir, "bench.qvs")
+	o.storeOut = out
+	var buf bytes.Buffer
+	if err := runStoreBench(context.Background(), &buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bit-identical to SearchSetBatch") {
+		t.Fatalf("missing verification verdict in output:\n%s", buf.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep storeBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != o.storeN || rep.Dims != o.storeD {
+		t.Fatalf("workload %dx%d, want %dx%d", rep.N, rep.Dims, o.storeN, o.storeD)
+	}
+	if !rep.BitIdentical || rep.VerifiedQueries != 3 {
+		t.Fatalf("verification: identical=%v over %d queries", rep.BitIdentical, rep.VerifiedQueries)
+	}
+	if rep.Recall < 0.99 {
+		t.Fatalf("recall %.4f < 0.99 at rescore %d", rep.Recall, rep.Rescore)
+	}
+	if rep.MemoryCut < 3 {
+		t.Fatalf("memory cut %.2fx < 3x (scan %d B/vec vs %d float64)",
+			rep.MemoryCut, rep.BytesPerVectorScan, rep.BytesPerVectorF64)
+	}
+	if rep.BenchRequests != 30 || rep.QPS <= 0 {
+		t.Fatalf("throughput run: %d requests at %.1f qps", rep.BenchRequests, rep.QPS)
+	}
+
+	// A second run against the same path must reuse the file (no rebuild).
+	buf.Reset()
+	if err := runStoreBench(context.Background(), &buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reusing") {
+		t.Fatalf("second run rebuilt the store:\n%s", buf.String())
+	}
+}
+
+func TestStoreBenchInt16FullDims(t *testing.T) {
+	o := storeBenchOptions()
+	o.storePrec = "int16"
+	o.storeFull = 8
+	var buf bytes.Buffer
+	if err := runStoreBench(context.Background(), &buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "int16 full=8") {
+		t.Fatalf("store layout not reported:\n%s", buf.String())
+	}
+}
+
+func TestStoreBenchErrors(t *testing.T) {
+	o := storeBenchOptions()
+	o.storePrec = "float8"
+	if err := runStoreBench(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("bogus precision accepted")
+	}
+	o = storeBenchOptions()
+	o.neighbors = 0
+	if err := runStoreBench(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("zero neighbors accepted")
+	}
+	o = storeBenchOptions()
+	o.storeN = 1
+	if err := runStoreBench(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+
+	// A store whose shape disagrees with the flags must be rejected, not
+	// silently benchmarked against the wrong ground truth.
+	dir := t.TempDir()
+	o = storeBenchOptions()
+	o.storePath = filepath.Join(dir, "shape.qvs")
+	if err := runStoreBench(context.Background(), new(bytes.Buffer), o); err != nil {
+		t.Fatal(err)
+	}
+	o.storeN += 100
+	if err := runStoreBench(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

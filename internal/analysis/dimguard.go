@@ -43,14 +43,24 @@ func dimGuardApplies(path string) bool {
 	return false
 }
 
-// isVectorType reports whether the parameter type is []float64.
+// isVectorType reports whether the parameter type is a float vector
+// ([]float64, []float32) or a quantized code vector ([]uint8, []byte,
+// []uint16 — the store's scan-kernel payloads): both kinds carry a
+// per-dimension length that must agree with their peers before indexing.
 func isVectorType(t ast.Expr) bool {
 	arr, ok := t.(*ast.ArrayType)
 	if !ok || arr.Len != nil {
 		return false
 	}
 	id, ok := arr.Elt.(*ast.Ident)
-	return ok && (id.Name == "float64" || id.Name == "float32")
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "float64", "float32", "uint8", "byte", "uint16":
+		return true
+	}
+	return false
 }
 
 // isMatrixType reports whether the parameter type is a (pointer to a)

@@ -36,3 +36,24 @@ func (w *wrapped) bump() uint64 {
 	w.served.Add(1)
 	return w.served.Load()
 }
+
+// storeHandle mirrors the store-side lifecycle fields: a generation number
+// bumped atomically on snapshot swap and a reader refcount. Once those
+// addresses reach sync/atomic, a plain decrement or read races with them.
+type storeHandle struct {
+	epoch uint64
+	refs  int64
+}
+
+func (h *storeHandle) acquire() {
+	atomic.AddInt64(&h.refs, 1)
+	atomic.StoreUint64(&h.epoch, 1)
+}
+
+func (h *storeHandle) release() {
+	h.refs-- // want "plain access to field refs"
+}
+
+func (h *storeHandle) generation() uint64 {
+	return h.epoch // want "plain access to field epoch"
+}

@@ -103,3 +103,35 @@ func WrongRuleNamed(a, b []float64) float64 {
 	//drlint:ignore floatcmp fixture: names the wrong rule on purpose
 	return a[0] * b[0] // want "indexes parameter"
 }
+
+// QuantBad is the quantized-store scan-kernel shape — float weights against
+// uint8 codes — with no guard: code vectors carry per-dimension lengths
+// that must agree with their float peers.
+func QuantBad(t []float64, c []uint8) float64 {
+	s := 0.0
+	for i := range t {
+		s += t[i] * float64(c[i]) // want "indexes parameter"
+	}
+	return s
+}
+
+// QuantGood guards the float/code pair before indexing (uint16 codes).
+func QuantGood(t []float64, c []uint16) float64 {
+	if len(t) != len(c) {
+		panic("len")
+	}
+	return t[0] * float64(c[0])
+}
+
+// CodesBad: two byte slices are two vectors too.
+func CodesBad(a, b []byte) int {
+	return int(a[0]) + int(b[0]) // want "indexes parameter"
+}
+
+// CodeRowGood validates a code row against the matrix width before reading.
+func CodeRowGood(m *Dense, c []uint8) float64 {
+	if len(c) != m.Cols() {
+		panic("dims")
+	}
+	return m.At(0, 0) * float64(c[0])
+}

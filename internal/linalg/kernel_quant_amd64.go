@@ -1,0 +1,40 @@
+//go:build amd64
+
+package linalg
+
+// Dispatch for the quantized-code dot kernels in kernel_quant_amd64.s,
+// behind the same hasAVX2FMA CPUID gate as the float kernels. The assembly
+// bodies process exactly 16 codes per iteration and require a length that
+// is a multiple of 16; the wrappers slice off the aligned head and finish
+// the (≤15-element) tail with scalar Go, which keeps integer→float
+// conversion out of the assembly tail path.
+
+//go:noescape
+func dotU8AVX2(t []float64, c []uint8) float64
+
+//go:noescape
+func dotU16AVX2(t []float64, c []uint16) float64
+
+func dotU8Unitary(t []float64, c []uint8) float64 {
+	if hasAVX2FMA && len(t) >= asmMinLen {
+		head := len(t) &^ 15
+		s := dotU8AVX2(t[:head], c[:head])
+		for j := head; j < len(t); j++ {
+			s += t[j] * float64(c[j])
+		}
+		return s
+	}
+	return dotU8Generic(t, c)
+}
+
+func dotU16Unitary(t []float64, c []uint16) float64 {
+	if hasAVX2FMA && len(t) >= asmMinLen {
+		head := len(t) &^ 15
+		s := dotU16AVX2(t[:head], c[:head])
+		for j := head; j < len(t); j++ {
+			s += t[j] * float64(c[j])
+		}
+		return s
+	}
+	return dotU16Generic(t, c)
+}

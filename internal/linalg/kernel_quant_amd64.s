@@ -1,0 +1,96 @@
+// AVX2/FMA kernels for the quantized-code inner products of the vector
+// store scan path: s = Σ t[j]·float64(c[j]) with c uint8 or uint16 codes.
+// Codes are widened in-register (VPMOVZX → VCVTDQ2PD) so the memory stream
+// stays 1 or 2 bytes per dimension; accumulation runs in float64 with four
+// 256-bit accumulators, matching the dotAVX2 skeleton. Callers guarantee
+// len(t) == len(c) and len(t) ≡ 0 (mod 16); the Go dispatch wrappers in
+// kernel_quant_amd64.go handle the scalar tail.
+
+#include "textflag.h"
+
+// func dotU8AVX2(t []float64, c []uint8) float64
+//
+// 16 codes per iteration: two 8-byte loads widen to 4×4 int32 lanes, each
+// converted to 4 float64 and FMA'd against the matching t quad.
+TEXT ·dotU8AVX2(SB), NOSPLIT, $0-56
+	MOVQ t_base+0(FP), SI
+	MOVQ c_base+24(FP), DI
+	MOVQ t_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	SHRQ $4, CX
+	JZ   u8reduce
+
+u8loop16:
+	VPMOVZXBD (DI), Y4
+	VPMOVZXBD 8(DI), Y5
+	VCVTDQ2PD X4, Y6
+	VEXTRACTI128 $1, Y4, X4
+	VCVTDQ2PD X4, Y7
+	VFMADD231PD (SI), Y6, Y0
+	VFMADD231PD 32(SI), Y7, Y1
+	VCVTDQ2PD X5, Y6
+	VEXTRACTI128 $1, Y5, X5
+	VCVTDQ2PD X5, Y7
+	VFMADD231PD 64(SI), Y6, Y2
+	VFMADD231PD 96(SI), Y7, Y3
+	ADDQ $16, DI
+	ADDQ $128, SI
+	DECQ CX
+	JNZ  u8loop16
+
+u8reduce:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func dotU16AVX2(t []float64, c []uint16) float64
+//
+// Identical skeleton with 16-byte code loads widened by VPMOVZXWD.
+TEXT ·dotU16AVX2(SB), NOSPLIT, $0-56
+	MOVQ t_base+0(FP), SI
+	MOVQ c_base+24(FP), DI
+	MOVQ t_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	SHRQ $4, CX
+	JZ   u16reduce
+
+u16loop16:
+	VPMOVZXWD (DI), Y4
+	VPMOVZXWD 16(DI), Y5
+	VCVTDQ2PD X4, Y6
+	VEXTRACTI128 $1, Y4, X4
+	VCVTDQ2PD X4, Y7
+	VFMADD231PD (SI), Y6, Y0
+	VFMADD231PD 32(SI), Y7, Y1
+	VCVTDQ2PD X5, Y6
+	VEXTRACTI128 $1, Y5, X5
+	VCVTDQ2PD X5, Y7
+	VFMADD231PD 64(SI), Y6, Y2
+	VFMADD231PD 96(SI), Y7, Y3
+	ADDQ $32, DI
+	ADDQ $128, SI
+	DECQ CX
+	JNZ  u16loop16
+
+u16reduce:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET

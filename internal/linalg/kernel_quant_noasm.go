@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package linalg
+
+func dotU8Unitary(t []float64, c []uint8) float64 { return dotU8Generic(t, c) }
+
+func dotU16Unitary(t []float64, c []uint16) float64 { return dotU16Generic(t, c) }

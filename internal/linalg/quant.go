@@ -1,0 +1,74 @@
+package linalg
+
+import "fmt"
+
+// Quantized-code inner products. These are the scan kernels of the
+// quantized vector store (internal/store): a data row is held as unsigned
+// integer codes c with per-dimension affine scales, and the asymmetric
+// squared distance to a float query decomposes as
+//
+//	‖q − x̂‖² = Σⱼ aⱼ² − 2·Σⱼ tⱼ·cⱼ + Σⱼ (stepⱼ·cⱼ)²
+//
+// with aⱼ = qⱼ − minⱼ and tⱼ = aⱼ·stepⱼ precomputed once per query. The
+// only per-point work is the mixed-precision dot Σ tⱼ·float64(cⱼ), so that
+// is the kernel: 1 (or 2) data bytes per dimension instead of 8, which is
+// what makes a million-point scan fit in cache-and-bandwidth budgets the
+// float64 kernels cannot meet.
+
+// DotU8 returns Σ t[j]·float64(c[j]) for uint8 codes. It dispatches to an
+// AVX2/FMA assembly kernel on capable amd64 hardware and to the portable
+// generic kernel elsewhere; like Dot, the two paths may differ in the last
+// ulp or two (FMA contraction) but are each deterministic.
+func DotU8(t []float64, c []uint8) float64 {
+	if len(t) != len(c) {
+		panic(fmt.Sprintf("linalg: DotU8 length mismatch %d vs %d", len(t), len(c)))
+	}
+	return dotU8Unitary(t, c)
+}
+
+// DotU16 is DotU8 for uint16 codes (int16-precision scalar quantization).
+func DotU16(t []float64, c []uint16) float64 {
+	if len(t) != len(c) {
+		panic(fmt.Sprintf("linalg: DotU16 length mismatch %d vs %d", len(t), len(c)))
+	}
+	return dotU16Unitary(t, c)
+}
+
+// dotU8Generic is the portable kernel: four independent accumulators break
+// the add-latency chain, mirroring dotGeneric so the forced-fallback parity
+// tests can demand bit identity.
+func dotU8Generic(t []float64, c []uint8) float64 {
+	n := len(t)
+	c = c[:n] // hoist the bounds check out of the loop
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += t[i] * float64(c[i])
+		s1 += t[i+1] * float64(c[i+1])
+		s2 += t[i+2] * float64(c[i+2])
+		s3 += t[i+3] * float64(c[i+3])
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += t[i] * float64(c[i])
+	}
+	return s
+}
+
+func dotU16Generic(t []float64, c []uint16) float64 {
+	n := len(t)
+	c = c[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += t[i] * float64(c[i])
+		s1 += t[i+1] * float64(c[i+1])
+		s2 += t[i+2] * float64(c[i+2])
+		s3 += t[i+3] * float64(c[i+3])
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += t[i] * float64(c[i])
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The quantized kernels carry the same two-implementation contract as the
+// float kernels (see kernel_parity_test.go): forced-generic dispatch must
+// be bit-identical to the generic kernel, and the platform's real dispatch
+// may differ only by FMA rounding. parityDims covers below-asmMinLen (1,
+// 7), an exact 16-multiple (16), and a long length with a scalar tail
+// (166 = 10×16 + 6).
+
+func randCodesU8(rng *rand.Rand, d int) []uint8 {
+	c := make([]uint8, d)
+	for i := range c {
+		c[i] = uint8(rng.Intn(256))
+	}
+	return c
+}
+
+func randCodesU16(rng *rand.Rand, d int) []uint16 {
+	c := make([]uint16, d)
+	for i := range c {
+		c[i] = uint16(rng.Intn(65536))
+	}
+	return c
+}
+
+func TestDotU8FallbackExactlyMatchesGeneric(t *testing.T) {
+	forceGeneric(t)
+	rng := rand.New(rand.NewSource(81))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			w, c := randVec(rng, d), randCodesU8(rng, d)
+			got, want := dotU8Unitary(w, c), dotU8Generic(w, c)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("d=%d trial=%d: forced-generic dotU8Unitary=%v, dotU8Generic=%v (must be bit-identical)", d, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestDotU16FallbackExactlyMatchesGeneric(t *testing.T) {
+	forceGeneric(t)
+	rng := rand.New(rand.NewSource(83))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			w, c := randVec(rng, d), randCodesU16(rng, d)
+			got, want := dotU16Unitary(w, c), dotU16Generic(w, c)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("d=%d trial=%d: forced-generic dotU16Unitary=%v, dotU16Generic=%v (must be bit-identical)", d, trial, got, want)
+			}
+		}
+	}
+}
+
+// quantDotTol is the dispatched-path tolerance: FMA contraction and a
+// different reduction tree may move the result by a few ulps relative to
+// the operand scale, never structurally.
+func quantDotTol(w []float64, maxCode float64) float64 {
+	scale := 0.0
+	for _, x := range w {
+		scale += math.Abs(x) * maxCode
+	}
+	return 1e-14 * (scale + 1)
+}
+
+func TestDotU8DispatchWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			w, c := randVec(rng, d), randCodesU8(rng, d)
+			got, want := DotU8(w, c), dotU8Generic(w, c)
+			if math.Abs(got-want) > quantDotTol(w, 255) {
+				t.Fatalf("d=%d trial=%d: DotU8=%v, generic=%v, |Δ|=%g beyond tolerance", d, trial, got, want, math.Abs(got-want))
+			}
+		}
+	}
+}
+
+func TestDotU16DispatchWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for _, d := range parityDims {
+		for trial := 0; trial < 50; trial++ {
+			w, c := randVec(rng, d), randCodesU16(rng, d)
+			got, want := DotU16(w, c), dotU16Generic(w, c)
+			if math.Abs(got-want) > quantDotTol(w, 65535) {
+				t.Fatalf("d=%d trial=%d: DotU16=%v, generic=%v, |Δ|=%g beyond tolerance", d, trial, got, want, math.Abs(got-want))
+			}
+		}
+	}
+}
+
+// Edge values: zero weights, extreme codes, saturating-scale weights. The
+// kernels must agree structurally on inputs the random draws rarely hit.
+func TestDotQuantEdgeValues(t *testing.T) {
+	d := 37 // 2×16 + 5 tail
+	w := make([]float64, d)
+	c8 := make([]uint8, d)
+	c16 := make([]uint16, d)
+	for i := range w {
+		switch i % 4 {
+		case 0:
+			w[i] = 0
+		case 1:
+			w[i] = 1e300
+		case 2:
+			w[i] = -1e-300
+		default:
+			w[i] = math.Pi
+		}
+		c8[i] = uint8(i % 2 * 255)
+		c16[i] = uint16(i % 2 * 65535)
+	}
+	if got, want := DotU8(w, c8), dotU8Generic(w, c8); math.Abs(got-want) > quantDotTol(w, 255) {
+		t.Fatalf("u8 edge: %v vs %v", got, want)
+	}
+	if got, want := DotU16(w, c16), dotU16Generic(w, c16); math.Abs(got-want) > quantDotTol(w, 65535) {
+		t.Fatalf("u16 edge: %v vs %v", got, want)
+	}
+}
+
+func TestDotQuantLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DotU8 with mismatched lengths must panic")
+		}
+	}()
+	DotU8(make([]float64, 3), make([]uint8, 4))
+}
+
+func BenchmarkDotU8_166(b *testing.B) {
+	rng := rand.New(rand.NewSource(91))
+	w, c := randVec(rng, 166), randCodesU8(rng, 166)
+	b.SetBytes(166)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += DotU8(w, c)
+	}
+	benchSinkQuant = s
+}
+
+func BenchmarkDotU16_166(b *testing.B) {
+	rng := rand.New(rand.NewSource(93))
+	w, c := randVec(rng, 166), randCodesU16(rng, 166)
+	b.SetBytes(2 * 166)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += DotU16(w, c)
+	}
+	benchSinkQuant = s
+}
+
+var benchSinkQuant float64

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/store"
+)
+
+// quantShard is the quantized-store backend: one contiguous range of an
+// mmap-backed store.Store (shared across the snapshot's shards, since the
+// store is already safe for concurrent range scans).
+//
+// The exact path runs the store's two-phase search with a full rescore
+// budget, which is bit-identical to the float64 scan (every point is
+// admitted and exactly rescored), so a store-backed engine preserves the
+// engine's exact-path contract. The approximate path keeps the quantized
+// scan but caps phase-2 rescoring at the configured budget — the store's
+// replacement for LSH probing, with the budget playing the role the probe
+// count plays on dense shards.
+type quantShard struct {
+	lo, hi  int
+	st      *store.Store
+	rescore int // approximate-path budget; <=0 selects rescoreFactor·k
+}
+
+// rescoreFactor scales k into the default approximate rescore budget.
+const rescoreFactor = 32
+
+func (s *quantShard) searchExact(query []float64, k int) shardOut {
+	neigh, _ := s.st.SearchRange(query, s.lo, s.hi, k, s.hi-s.lo)
+	return shardOut{neigh: neigh}
+}
+
+func (s *quantShard) searchApprox(query []float64, k, probes int) shardOut {
+	budget := s.rescore
+	if budget <= 0 {
+		budget = rescoreFactor * k
+	}
+	neigh, rescored := s.st.SearchRange(query, s.lo, s.hi, k, budget)
+	return shardOut{neigh: neigh, candidates: rescored}
+}
+
+// NewFromStore builds an engine whose shards scan a quantized store instead
+// of an in-memory matrix. The store is retained, not copied; it must stay
+// open while the engine serves. cfg.LSH and cfg.Probes are ignored (the
+// store's rescore budget replaces probing); cfg.Rescore bounds the
+// approximate path's per-shard exact refinement.
+func NewFromStore(st *store.Store, cfg Config) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("serve: nil store")
+	}
+	n, d := st.Len(), st.Dims()
+	if n == 0 || d == 0 {
+		return nil, fmt.Errorf("serve: cannot serve %dx%d store", n, d)
+	}
+	c := cfg.withDefaults(n, runtime.GOMAXPROCS(0))
+	e := newEngine(c)
+	e.snap.Store(buildStoreSnapshot(st, c, 1))
+	e.start()
+	return e, nil
+}
+
+// buildStoreSnapshot partitions the store's rows into cfg.Shards contiguous
+// quantShards over the shared mapping.
+func buildStoreSnapshot(st *store.Store, cfg Config, epoch uint64) *snapshot {
+	n := st.Len()
+	snap := &snapshot{epoch: epoch, n: n, d: st.Dims(), shards: make([]*shard, cfg.Shards)}
+	for s, r := range shardRanges(n, cfg.Shards) {
+		snap.shards[s] = &shard{
+			lo: r[0],
+			hi: r[1],
+			be: &quantShard{lo: r[0], hi: r[1], st: st, rescore: cfg.Rescore},
+		}
+	}
+	return snap
+}
+
+// SwapStore is Swap for a quantized store: it builds a store-backed
+// snapshot and atomically installs it, so an engine can move between dense
+// and store backends across generations without dropping queries.
+func (e *Engine) SwapStore(st *store.Store) (uint64, error) {
+	if st == nil {
+		return 0, fmt.Errorf("serve: nil store")
+	}
+	n, d := st.Len(), st.Dims()
+	if n == 0 || d == 0 {
+		return 0, fmt.Errorf("serve: cannot swap in %dx%d store", n, d)
+	}
+	cfg := e.cfg
+	if cfg.Shards > n {
+		cfg.Shards = n
+	}
+	next := buildStoreSnapshot(st, cfg, e.snap.Load().epoch+1)
+	e.snap.Store(next)
+	e.counters.swaps.Add(1)
+	return next.epoch, nil
+}

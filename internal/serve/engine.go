@@ -38,28 +38,51 @@ type Engine struct {
 
 // snapshot is one immutable generation of the serving state. Queries load
 // it once per request, so a Swap never tears a request across two
-// generations.
+// generations. data is the in-memory matrix for dense-backed snapshots and
+// nil for store-backed ones; n and d describe the snapshot either way.
 type snapshot struct {
 	epoch  uint64
+	n, d   int
 	data   *linalg.Dense
 	shards []*shard
 }
 
-// shard is one contiguous partition [lo, hi) of the snapshot's rows with
-// its own cached norms and hash tables. data is a view of the snapshot
-// matrix (shared backing array), so global row i is local row i-lo and
-// distance kernels read the same floats the unsharded path would.
+// backend is the per-shard search implementation. The engine's fan-out,
+// admission control, and merge are backend-agnostic: any backend that
+// returns per-shard top-k lists with global indices in the canonical
+// (distance, index) order composes with the rest of the pipeline. Two
+// implementations exist: denseShard (float64 matrix + norms + LSH) and
+// quantShard (mmap-backed quantized store, internal/store).
+type backend interface {
+	// searchExact returns the shard's exact top-k.
+	searchExact(query []float64, k int) shardOut
+	// searchApprox returns an approximate top-k plus the number of
+	// candidates it refined with exact distances.
+	searchApprox(query []float64, k, probes int) shardOut
+}
+
+// shard is one contiguous partition [lo, hi) of the snapshot's rows,
+// delegating scans to its backend.
 type shard struct {
 	lo, hi int
-	data   *linalg.Dense
-	norms  []float64
-	lsh    *lsh.Index
+	be     backend
 
 	// candidates accumulates approximate-path refinement work executed on
 	// this shard (for EngineStats.ShardCandidates).
 	candidates atomic.Uint64
 	// tasks counts shard scans executed (exact or approximate).
 	tasks atomic.Uint64
+}
+
+// denseShard is the in-memory backend: a view of the snapshot matrix
+// (shared backing array, so global row i is local row i-lo and distance
+// kernels read the same floats the unsharded path would), cached squared
+// row norms, and the shard's LSH tables.
+type denseShard struct {
+	lo    int
+	data  *linalg.Dense
+	norms []float64
+	lsh   *lsh.Index
 }
 
 // request travels through the admission queue.
@@ -104,25 +127,35 @@ func New(data *linalg.Dense, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("serve: cannot serve %dx%d data", n, d)
 	}
 	c := cfg.withDefaults(n, runtime.GOMAXPROCS(0))
-	e := &Engine{
+	e := newEngine(c)
+	e.snap.Store(buildSnapshot(data, c, 1))
+	e.start()
+	return e, nil
+}
+
+// newEngine allocates an engine shell from a resolved config; the caller
+// installs the first snapshot and calls start.
+func newEngine(c Config) *Engine {
+	return &Engine{
 		cfg:    c,
 		queue:  make(chan *request, c.QueueDepth),
 		shardq: make(chan shardTask, c.Shards*c.Workers),
 		lat:    newLatencyRecorder(),
 	}
-	e.snap.Store(buildSnapshot(data, c, 1))
+}
 
-	e.workers.Add(c.Workers)
-	for w := 0; w < c.Workers; w++ {
+// start launches the request and shard worker pools.
+func (e *Engine) start() {
+	e.workers.Add(e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
 		//drlint:ignore goroutinehygiene long-lived server pool: each worker defers workers.Done and Close joins via workers.Wait after closing the queue
 		go e.requestWorker()
 	}
-	e.shardWorkers.Add(c.ShardWorkers)
-	for w := 0; w < c.ShardWorkers; w++ {
+	e.shardWorkers.Add(e.cfg.ShardWorkers)
+	for w := 0; w < e.cfg.ShardWorkers; w++ {
 		//drlint:ignore goroutinehygiene long-lived server pool: each worker defers shardWorkers.Done and Close joins via shardWorkers.Wait after closing shardq
 		go e.shardWorker()
 	}
-	return e, nil
 }
 
 // buildSnapshot partitions data into cfg.Shards contiguous shards and
@@ -131,27 +164,41 @@ func New(data *linalg.Dense, cfg Config) (*Engine, error) {
 // byte-deterministic for a fixed config.
 func buildSnapshot(data *linalg.Dense, cfg Config, epoch uint64) *snapshot {
 	n := data.Rows()
-	snap := &snapshot{epoch: epoch, data: data, shards: make([]*shard, cfg.Shards)}
-	base, extra := n/cfg.Shards, n%cfg.Shards
-	lo := 0
-	for s := 0; s < cfg.Shards; s++ {
-		hi := lo + base
-		if s < extra {
-			hi++
-		}
+	snap := &snapshot{epoch: epoch, n: n, d: data.Cols(), data: data, shards: make([]*shard, cfg.Shards)}
+	for s, r := range shardRanges(n, cfg.Shards) {
+		lo, hi := r[0], r[1]
 		view := data.RowSlice(lo, hi)
 		shardCfg := cfg.LSH
 		shardCfg.Seed = shardSeed(cfg.LSH.Seed, s)
 		snap.shards[s] = &shard{
-			lo:    lo,
-			hi:    hi,
-			data:  view,
-			norms: linalg.RowNormsSq(view),
-			lsh:   lsh.Build(view, shardCfg),
+			lo: lo,
+			hi: hi,
+			be: &denseShard{
+				lo:    lo,
+				data:  view,
+				norms: linalg.RowNormsSq(view),
+				lsh:   lsh.Build(view, shardCfg),
+			},
 		}
-		lo = hi
 	}
 	return snap
+}
+
+// shardRanges returns the balanced contiguous partition of n rows into p
+// [lo, hi) ranges.
+func shardRanges(n, p int) [][2]int {
+	out := make([][2]int, p)
+	base, extra := n/p, n%p
+	lo := 0
+	for s := 0; s < p; s++ {
+		hi := lo + base
+		if s < extra {
+			hi++
+		}
+		out[s] = [2]int{lo, hi}
+		lo = hi
+	}
+	return out
 }
 
 // shardSeed expands the root seed into decorrelated per-shard seeds
@@ -167,10 +214,10 @@ func shardSeed(root int64, s int) int64 {
 func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 
 // Dims returns the live snapshot's dimensionality.
-func (e *Engine) Dims() int { return e.snap.Load().data.Cols() }
+func (e *Engine) Dims() int { return e.snap.Load().d }
 
 // Len returns the live snapshot's row count.
-func (e *Engine) Len() int { return e.snap.Load().data.Rows() }
+func (e *Engine) Len() int { return e.snap.Load().n }
 
 // Shards returns the number of partitions of the live snapshot.
 func (e *Engine) Shards() int { return len(e.snap.Load().shards) }
@@ -308,9 +355,9 @@ func (e *Engine) handle(req *request) {
 		return
 	}
 	snap := e.snap.Load()
-	if len(req.query) != snap.data.Cols() {
+	if len(req.query) != snap.d {
 		req.resp <- response{err: fmt.Errorf("%w: query has %d dims, index has %d",
-			ErrDims, len(req.query), snap.data.Cols())}
+			ErrDims, len(req.query), snap.d)}
 		return
 	}
 	wait := time.Since(req.admitted)
@@ -356,10 +403,10 @@ func (e *Engine) shardWorker() {
 		t.sh.tasks.Add(1)
 		var o shardOut
 		if t.approx {
-			o = t.sh.searchApprox(t.query, t.k, t.probes)
+			o = t.sh.be.searchApprox(t.query, t.k, t.probes)
 			t.sh.candidates.Add(uint64(o.candidates))
 		} else {
-			o = t.sh.searchExact(t.query, t.k)
+			o = t.sh.be.searchExact(t.query, t.k)
 		}
 		t.out <- o
 	}
@@ -371,7 +418,7 @@ func (e *Engine) shardWorker() {
 // neighbors with the scalar metric. Merging per-shard results with the
 // canonical comparator therefore reproduces the single-threaded batch
 // engine bit for bit.
-func (s *shard) searchExact(query []float64, k int) shardOut {
+func (s *denseShard) searchExact(query []float64, k int) shardOut {
 	n := s.data.Rows()
 	if k > n {
 		k = n
@@ -396,7 +443,7 @@ func (s *shard) searchExact(query []float64, k int) shardOut {
 
 // searchApprox probes the shard's LSH tables and lifts local row ids to
 // global ones.
-func (s *shard) searchApprox(query []float64, k, probes int) shardOut {
+func (s *denseShard) searchApprox(query []float64, k, probes int) shardOut {
 	res, st := s.lsh.KNNApprox(query, k, probes)
 	for i := range res {
 		res[i].Index += s.lo

@@ -11,6 +11,14 @@
 // (distance, index) comparator, so the exact path is bit-identical to a
 // single-threaded knn.SearchSetBatch over the unsharded data.
 //
+// Shards search through a small backend interface with two
+// implementations: the in-memory dense backend above, and a quantized
+// mmap-backed store backend (internal/store, NewFromStore) whose exact
+// path runs the store's two-phase search with a full rescore budget —
+// preserving the bit-identity contract — and whose approximate path caps
+// phase-2 rescoring at Config.Rescore candidates per shard in place of LSH
+// probing.
+//
 // Three serving concerns the single-request CLIs never had to own live
 // here:
 //
@@ -108,8 +116,14 @@ type Config struct {
 	// 1 disables degradation — the queue rejects before it ever degrades).
 	DegradeWatermark float64
 	// Probes is the per-table probing depth of the approximate path
-	// (0 selects 16).
+	// (0 selects 16). Ignored by store-backed engines.
 	Probes int
+	// Rescore bounds the exact-refinement budget of the approximate path
+	// on store-backed shards (NewFromStore/SwapStore): each shard's
+	// quantized scan admits at most Rescore candidates for float64
+	// rescoring. 0 selects 32·k at query time. Ignored by dense-backed
+	// engines, whose approximate path is LSH probing.
+	Rescore int
 	// LSH configures each shard's hash index. LSH.Seed is the root seed;
 	// shard i derives an independent seed from it, so a snapshot is
 	// deterministic for a fixed config regardless of build parallelism.

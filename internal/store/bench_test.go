@@ -1,0 +1,62 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/knn"
+)
+
+// The store benchmarks measure the phase-1 quantized scan against the
+// float64 batch engine on the same data shape. scripts/bench.sh records
+// them into BENCH_knn.json next to the float kernels.
+
+func benchStore(b *testing.B, n, d int, cfg BuildConfig, rescore int) {
+	data, queries := testData(b, n, 16, d, 101)
+	s := buildStore(b, data, cfg)
+	rng := rand.New(rand.NewSource(103))
+	_ = rng
+	b.ResetTimer()
+	qi := 0
+	for i := 0; i < b.N; i++ {
+		res := s.Search(queries.RawRow(qi), 10, rescore)
+		if len(res) == 0 {
+			b.Fatal("empty result")
+		}
+		qi = (qi + 1) % queries.Rows()
+	}
+}
+
+func BenchmarkStoreSearchInt8_6598x166(b *testing.B) {
+	benchStore(b, 6598, 166, BuildConfig{Precision: Int8}, 100)
+}
+
+func BenchmarkStoreSearchInt16_6598x166(b *testing.B) {
+	benchStore(b, 6598, 166, BuildConfig{Precision: Int16}, 100)
+}
+
+// BenchmarkExactSearch6598x166 is the float64 comparison point: one query
+// through the scalar norm-cache scan (knn.Search) on identical data.
+func BenchmarkExactSearch6598x166(b *testing.B) {
+	data, queries := testData(b, 6598, 16, 166, 101)
+	b.ResetTimer()
+	qi := 0
+	for i := 0; i < b.N; i++ {
+		res := knn.Search(data, queries.RawRow(qi), 10, knn.Euclidean{}, -1)
+		if len(res) == 0 {
+			b.Fatal("empty result")
+		}
+		qi = (qi + 1) % queries.Rows()
+	}
+}
+
+func BenchmarkStoreBuild6598x166(b *testing.B) {
+	data, _ := testData(b, 6598, 1, 166, 101)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Write(dir+"/bench.qvs", data, BuildConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

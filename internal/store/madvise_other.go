@@ -1,0 +1,13 @@
+//go:build unix && !linux
+
+package store
+
+// madviseDontneed is a no-op off linux; dropRange is a best-effort
+// residency hint only.
+func madviseDontneed(b []byte) {}
+
+// madviseRandom is a no-op off linux; readahead behavior is unmodified.
+func madviseRandom(b []byte) {}
+
+// fadviseDontneed is a no-op off linux; the page cache is unmodified.
+func fadviseDontneed(path string, off, n int64) {}

@@ -1,0 +1,36 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Portable fallback: without mmap the whole file is read into memory. The
+// buffer is allocated as []uint64 so the zero-copy float64/uint32 casts
+// stay 8-byte aligned.
+type mapping struct {
+	bytes []byte
+}
+
+func mapFile(f *os.File, size int64) (mapping, error) {
+	words := make([]uint64, (size+7)/8)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return mapping{}, err
+	}
+	if _, err := io.ReadFull(f, b); err != nil {
+		return mapping{}, err
+	}
+	return mapping{bytes: b}, nil
+}
+
+func (m mapping) close() error { return nil }
+
+func (m mapping) dropRange(lo, hi int64) {}
+
+func (m mapping) adviseRandom(lo, hi int64) {}
+
+func fadviseDontneed(path string, off, n int64) {}

@@ -1,0 +1,58 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only memory map of the whole store file. The fd is
+// closed after mapping; the pages stay valid until munmap.
+type mapping struct {
+	bytes []byte
+}
+
+func mapFile(f *os.File, size int64) (mapping, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{bytes: b}, nil
+}
+
+func (m mapping) close() error {
+	if m.bytes == nil {
+		return nil
+	}
+	return syscall.Munmap(m.bytes)
+}
+
+// dropRange asks the kernel to evict the page-aligned interior of
+// bytes[lo:hi] from residency. Benchmarks use it to shed ground-truth
+// pages before measuring serving RSS; best-effort (no-op off linux).
+func (m mapping) dropRange(lo, hi int64) {
+	start, end := pageInterior(lo, hi)
+	if end <= start {
+		return
+	}
+	madviseDontneed(m.bytes[start:end])
+}
+
+// adviseRandom marks bytes[lo:hi] as random-access, disabling readahead.
+// Phase-2 rescores fault individual rows; without this, each ~1.3 kB row
+// fault drags in the default 128 kB readahead window around it, and a
+// budgeted scan quietly repopulates the whole full-precision region.
+func (m mapping) adviseRandom(lo, hi int64) {
+	start, end := pageInterior(lo, hi)
+	if end <= start {
+		return
+	}
+	madviseRandom(m.bytes[start:end])
+}
+
+// pageInterior shrinks [lo, hi) to its page-aligned interior.
+func pageInterior(lo, hi int64) (int64, int64) {
+	page := int64(os.Getpagesize())
+	return (lo + page - 1) / page * page, hi / page * page
+}

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/linalg"
+)
+
+// Store is an opened, mmap-backed quantized vector store. All search
+// methods are safe for concurrent use; Close waits for in-flight searches
+// and unmaps the file.
+type Store struct {
+	path string
+	l    layout
+	mm   mapping
+
+	perm        []int
+	mins, steps []float64 // storage order
+
+	codes []byte
+	f32   []float32
+	snorm []float64
+	exact []float64
+	// exactMat is a zero-copy Dense view over the exact region; reading it
+	// pages the float64 rows in on demand.
+	exactMat *linalg.Dense
+
+	// mu guards the mapping's lifetime: searches hold the read lock, Close
+	// takes the write lock, so the pages can never vanish under a scan.
+	mu     sync.RWMutex
+	closed bool
+
+	// scanned and rescored count points offered to phase 1 and candidates
+	// exactly rescored in phase 2 since Open.
+	scanned  atomic.Uint64
+	rescored atomic.Uint64
+}
+
+// Open maps a store file written by Writer/Write.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("store: reading header of %s: %w", path, err)
+	}
+	l, err := decodeHeader(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if st.Size() != l.fileSize {
+		return nil, fmt.Errorf("store: %s is %d bytes, header says %d", path, st.Size(), l.fileSize)
+	}
+	if endianSentinelNative(hdr) != endianSentinel {
+		return nil, fmt.Errorf("store: %s: native byte order does not match the little-endian file layout", path)
+	}
+	mm, err := mapFile(f, l.fileSize)
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping %s: %w", path, err)
+	}
+	b := mm.bytes
+	s := &Store{path: path, l: l, mm: mm}
+	permU32 := castU32(b[l.permOff : l.permOff+4*int64(l.d)])
+	s.perm = make([]int, l.d)
+	for j, p := range permU32 {
+		s.perm[j] = int(p)
+	}
+	s.mins = castF64(b[l.minsOff : l.minsOff+8*int64(l.d)])
+	s.steps = castF64(b[l.stepsOff : l.stepsOff+8*int64(l.d)])
+	nBlocks := int64((l.n + l.blockRows - 1) / l.blockRows)
+	s.codes = b[l.codesOff : l.codesOff+nBlocks*int64(l.blockRows)*int64(l.codeStride)]
+	s.snorm = castF64(b[l.snormOff : l.snormOff+8*int64(l.n)])
+	s.exact = castF64(b[l.exactOff : l.exactOff+8*int64(l.n)*int64(l.d)])
+	if l.fullDims > 0 {
+		s.f32 = castF32(b[l.f32Off : l.f32Off+4*int64(l.n)*int64(l.fullDims)])
+	}
+	s.exactMat = linalg.NewDenseData(l.n, l.d, s.exact)
+	// Phase-2 rescores fault scattered exact rows; without this hint the
+	// kernel's readahead window repopulates the whole region.
+	mm.adviseRandom(l.exactOff, l.fileSize)
+	return s, nil
+}
+
+// Close unmaps the store after in-flight searches drain. Safe to call twice.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.mm.close()
+}
+
+// Len returns the number of stored points.
+func (s *Store) Len() int { return s.l.n }
+
+// Dims returns the ambient dimensionality.
+func (s *Store) Dims() int { return s.l.d }
+
+// Precision returns the quantized code width.
+func (s *Store) Precision() Precision { return s.l.prec }
+
+// FullDims returns how many leading storage dimensions are kept at float32.
+func (s *Store) FullDims() int { return s.l.fullDims }
+
+// BlockRows returns the scan-block granularity of the code region.
+func (s *Store) BlockRows() int { return s.l.blockRows }
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// BytesPerVectorScan returns the bytes per point that a phase-1 scan keeps
+// resident: the padded code row, the cached quantized norm, and the float32
+// prefix. The float64 alternative is 8·d; their ratio is the store's
+// resident-memory win.
+func (s *Store) BytesPerVectorScan() int {
+	return s.l.codeStride + 8 + 4*s.l.fullDims
+}
+
+// ExactMatrix returns a zero-copy Dense view over the full-precision
+// region (row-major, original dimension order). Reading it faults pages in
+// on demand; it is how ground-truth computations run over a store without
+// a second copy of the data.
+func (s *Store) ExactMatrix() *linalg.Dense { return s.exactMat }
+
+// ExactRow returns the full-precision float64 row i (zero-copy).
+func (s *Store) ExactRow(i int) []float64 { return s.exactMat.RawRow(i) }
+
+// DequantRow reconstructs point i from its stored representation (float32
+// prefix dims plus dequantized codes), in original dimension order. The
+// per-dimension reconstruction error of a quantized dimension is bounded by
+// stepⱼ/2 — the property the round-trip tests pin.
+func (s *Store) DequantRow(i int) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		panic("store: DequantRow on closed store")
+	}
+	if i < 0 || i >= s.l.n {
+		panic(fmt.Sprintf("store: row %d outside [0,%d)", i, s.l.n))
+	}
+	out := make([]float64, s.l.d)
+	F := s.l.fullDims
+	for j := 0; j < F; j++ {
+		out[s.perm[j]] = float64(s.f32[i*F+j])
+	}
+	row := s.codes[i*s.l.codeStride:]
+	for j := F; j < s.l.d; j++ {
+		var c float64
+		if s.l.prec == Int8 {
+			c = float64(row[j-F])
+		} else {
+			c = float64(castU16(row[:2*s.l.quantDims])[j-F])
+		}
+		out[s.perm[j]] = s.mins[j] + s.steps[j]*c
+	}
+	return out
+}
+
+// Mins and Steps return the per-dimension affine scales in original
+// dimension order (copies).
+func (s *Store) Mins() []float64 { return s.scalesOriginal(s.mins) }
+
+// Steps returns the per-dimension quantization steps in original dimension
+// order (copies); a step of 0 marks a constant or full-precision dimension.
+func (s *Store) Steps() []float64 { return s.scalesOriginal(s.steps) }
+
+func (s *Store) scalesOriginal(storageOrder []float64) []float64 {
+	out := make([]float64, s.l.d)
+	for j, v := range storageOrder {
+		out[s.perm[j]] = v
+	}
+	return out
+}
+
+// Stats reports cumulative scan work since Open.
+type Stats struct {
+	// Scanned counts points whose quantized distance was evaluated.
+	Scanned uint64
+	// Rescored counts candidates refined against the exact region.
+	Rescored uint64
+}
+
+// Stats returns a point-in-time snapshot of the scan counters.
+func (s *Store) Stats() Stats {
+	return Stats{Scanned: s.scanned.Load(), Rescored: s.rescored.Load()}
+}

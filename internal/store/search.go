@@ -1,0 +1,176 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// plan holds the per-query precomputed scan terms of the asymmetric
+// decomposition: with aⱼ = q_{perm[j]} − minⱼ over the quantized storage
+// dimensions, phase 1 evaluates a2 + snorm[i] − 2·⟨t, codes_i⟩ plus the
+// float32-prefix partial distance — one mixed-precision dot per point.
+type plan struct {
+	t  []float64 // aⱼ·stepⱼ over quantized dims
+	a2 float64   // Σ aⱼ²
+	qf []float64 // storage-order query over the float32 prefix dims
+}
+
+func (s *Store) newPlan(q []float64) plan {
+	F := s.l.fullDims
+	p := plan{t: make([]float64, s.l.quantDims)}
+	if F > 0 {
+		p.qf = make([]float64, F)
+		for j := 0; j < F; j++ {
+			p.qf[j] = q[s.perm[j]]
+		}
+	}
+	for j := F; j < s.l.d; j++ {
+		a := q[s.perm[j]] - s.mins[j]
+		p.t[j-F] = a * s.steps[j]
+		p.a2 += a * a
+	}
+	return p
+}
+
+// approxAt returns the phase-1 squared-distance estimate for point i,
+// clamped at zero.
+func (s *Store) approxAt(p *plan, i int) float64 {
+	row := s.codes[i*s.l.codeStride:]
+	var dot float64
+	if s.l.prec == Int8 {
+		dot = linalg.DotU8(p.t, row[:s.l.quantDims])
+	} else {
+		dot = linalg.DotU16(p.t, castU16(row[:2*s.l.quantDims]))
+	}
+	d2 := p.a2 + s.snorm[i] - 2*dot
+	if F := s.l.fullDims; F > 0 {
+		frow := s.f32[i*F : (i+1)*F]
+		for j, qv := range p.qf {
+			diff := qv - float64(frow[j])
+			d2 += diff * diff
+		}
+	}
+	if d2 < 0 {
+		d2 = 0
+	}
+	return d2
+}
+
+// Search returns the k nearest neighbors of q by two-phase search over the
+// whole store: a quantized scan admits the rescore-budget best candidates,
+// which are exactly rescored against the float64 region and re-sorted
+// under the canonical (distance, index) order. rescore < k is treated as
+// k; rescore ≥ Len() makes the result bit-identical to exact search (every
+// point is admitted and exactly scored).
+func (s *Store) Search(q []float64, k, rescore int) []knn.Neighbor {
+	res, _ := s.SearchRange(q, 0, s.l.n, k, rescore)
+	return res
+}
+
+// SearchRange is Search restricted to the contiguous point range [lo, hi)
+// — the shard entry point of the serving layer. Returned indices are
+// global. The second result is the number of candidates phase 2 rescored.
+func (s *Store) SearchRange(q []float64, lo, hi, k, rescore int) ([]knn.Neighbor, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		panic("store: search on closed store")
+	}
+	if len(q) != s.l.d {
+		panic(fmt.Sprintf("store: query has %d dims, store has %d", len(q), s.l.d))
+	}
+	if lo < 0 || hi > s.l.n || lo >= hi {
+		panic(fmt.Sprintf("store: range [%d,%d) outside [0,%d)", lo, hi, s.l.n))
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("store: k=%d must be positive", k))
+	}
+	budget := rescore
+	if budget < k {
+		budget = k
+	}
+	if budget > hi-lo {
+		budget = hi - lo
+	}
+
+	p := s.newPlan(q)
+	c := knn.NewCollector(budget)
+	for i := lo; i < hi; i++ {
+		c.Offer(i, s.approxAt(&p, i))
+	}
+	s.scanned.Add(uint64(hi - lo))
+
+	cand := c.Results()
+	e := knn.Euclidean{}
+	for t := range cand {
+		cand[t].Dist = e.Distance(s.exactMat.RawRow(cand[t].Index), q)
+	}
+	s.rescored.Add(uint64(len(cand)))
+	knn.SortNeighbors(cand)
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand, budget
+}
+
+// SearchBatch runs Search for every row of queries, parallelized over up
+// to GOMAXPROCS goroutines (queries are independent).
+func (s *Store) SearchBatch(queries *linalg.Dense, k, rescore int) [][]knn.Neighbor {
+	if queries.Cols() != s.l.d {
+		panic(fmt.Sprintf("store: queries have %d dims, store has %d", queries.Cols(), s.l.d))
+	}
+	nq := queries.Rows()
+	out := make([][]knn.Neighbor, nq)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nq {
+		workers = nq
+	}
+	if workers <= 1 {
+		for i := 0; i < nq; i++ {
+			out[i] = s.Search(queries.RawRow(i), k, rescore)
+		}
+		return out
+	}
+	chunk := (nq + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < nq; lo += chunk {
+		hi := lo + chunk
+		if hi > nq {
+			hi = nq
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = s.Search(queries.RawRow(i), k, rescore)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// DropExactPages hints the kernel to evict the full-precision region from
+// residency (best-effort, linux only): first from this process's page
+// tables (madvise MADV_DONTNEED), then from the page cache itself
+// (posix_fadvise POSIX_FADV_DONTNEED) — without the second step the clean
+// file pages stay cached and fault-around silently maps the whole region
+// back on the next scattered rescore. Benchmarks call it between a
+// ground-truth pass (which faults the whole exact region in) and the
+// serving measurement, so reported RSS reflects the quantized working set
+// plus only the pages phase 2 actually touches.
+func (s *Store) DropExactPages() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return
+	}
+	lo := s.l.exactOff
+	hi := lo + 8*int64(s.l.n)*int64(s.l.d)
+	s.mm.dropRange(lo, hi)
+	fadviseDontneed(s.path, lo, hi-lo)
+}

@@ -1,0 +1,441 @@
+// Package store is the quantized vector storage layer: a block-major,
+// per-dimension scalar-quantized point store with a binary on-disk format,
+// an mmap-backed read path, and a two-phase search that scans compact
+// integer codes and exactly rescores the admitted candidates against the
+// full-precision float64 region.
+//
+// The design applies the paper's coherence thesis to storage: the
+// semantically coherent components of a representation deserve full
+// fidelity, the rest can be crushed. Each dimension j is stored as an
+// unsigned code c with an affine scale (minⱼ, stepⱼ), so a point row costs
+// 1 (Int8) or 2 (Int16) bytes per dimension instead of 8. Optionally the
+// dimensions are permuted into a caller-chosen order (eigenvalue or
+// coherence order from internal/reduction) and the first FullDims of that
+// order are kept at float32 precision — "keep the coherent components,
+// quantize the tail", the static-pruning recipe of the Matrix Decomposition
+// pruning work cited in PAPERS.md.
+//
+// Search is two-phase. Phase 1 scans the quantized blocks with the
+// asymmetric decomposition
+//
+//	‖q − x̂‖² = Σⱼ aⱼ² − 2·Σⱼ tⱼ·cⱼ + Σⱼ (stepⱼ·cⱼ)²,  aⱼ = qⱼ − minⱼ, tⱼ = aⱼ·stepⱼ
+//
+// whose only per-point term is the mixed-precision dot Σ tⱼ·cⱼ
+// (linalg.DotU8/DotU16, AVX2 on capable hardware) plus a per-point norm
+// cached at build time — the same norm-cache shape knn.SearchSetBatch uses.
+// Phase 2 rescores the admitted candidates with the scalar Euclidean metric
+// against the untouched float64 region and re-sorts under the canonical
+// (distance, index) order, so with a full rescore budget the result is
+// bit-identical to knn.SearchSetBatch, and with a partial budget only the
+// candidate set — never a reported distance — is approximate.
+//
+// On-disk layout (all offsets 64-byte aligned, little-endian):
+//
+//	header | perm (d×u32) | mins (d×f64) | steps (d×f64)
+//	       | f32 prefix (n×FullDims×f32, row-major)
+//	       | codes (block-major: blocks of BlockRows rows, each row
+//	         CodeStride bytes, zero-padded)
+//	       | snorm (n×f64: Σ (stepⱼcⱼ)² over quantized dims)
+//	       | exact (n×d×f64, row-major, original dimension order)
+//
+// The mmap read path keeps the codes/snorm regions resident (they are
+// scanned) while the exact region pages in lazily — only the rows that
+// phase 2 actually rescores are ever touched, which is what cuts resident
+// vector bytes by ~8× at Int8 against a float64 store.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// Precision selects the quantized code width.
+type Precision uint8
+
+const (
+	// Int8 stores one byte per quantized dimension (256 levels).
+	Int8 Precision = 1
+	// Int16 stores two bytes per quantized dimension (65536 levels).
+	Int16 Precision = 2
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case Int8:
+		return "int8"
+	case Int16:
+		return "int16"
+	default:
+		return fmt.Sprintf("Precision(%d)", uint8(p))
+	}
+}
+
+// maxCode returns the largest code value of the precision.
+func (p Precision) maxCode() float64 {
+	if p == Int16 {
+		return 65535
+	}
+	return 255
+}
+
+const (
+	magic         = "DRQS"
+	formatVersion = 1
+	// headerSize is the fixed byte length of the header block.
+	headerSize = 256
+	// endianSentinel is stored in the header and read back through the
+	// zero-copy cast path at Open, so a build whose native byte order does
+	// not match the file's little-endian layout fails loudly instead of
+	// serving garbage distances.
+	endianSentinel uint64 = 0x0102030405060708
+	// defaultBlockRows is the block granularity of the code region: the
+	// unit of scan parallelism and (later) compaction.
+	defaultBlockRows = 4096
+	// codeRowAlign pads each code row so rows start 16-byte aligned for the
+	// SIMD loads.
+	codeRowAlign = 16
+	// sectionAlign aligns every region offset.
+	sectionAlign = 64
+)
+
+// BuildConfig parameterizes store construction. The zero value quantizes
+// every dimension to Int8 in the natural dimension order with min/max
+// scales computed from the data.
+type BuildConfig struct {
+	// Precision is the code width (default Int8).
+	Precision Precision
+	// BlockRows is the number of rows per code block (default 4096).
+	BlockRows int
+	// Perm, if non-nil, is the storage order: storage dimension j holds
+	// original dimension Perm[j]. Pass a coherence or eigenvalue order
+	// (internal/reduction) so FullDims keeps the most coherent components
+	// at full precision. Must be a permutation of [0, d).
+	Perm []int
+	// FullDims keeps the first FullDims storage dimensions at float32
+	// precision instead of quantizing them (default 0).
+	FullDims int
+	// Mins and Steps, if non-nil, are externally computed per-dimension
+	// scales in ORIGINAL dimension order (e.g. from a whitening transform,
+	// or from a streaming min/max pass). Both or neither must be set; when
+	// nil, Write computes min/max scales from the matrix. Create (the
+	// streaming writer) requires them.
+	Mins, Steps []float64
+}
+
+// withDefaults resolves zero fields.
+func (c BuildConfig) withDefaults() BuildConfig {
+	if c.Precision == 0 {
+		c.Precision = Int8
+	}
+	if c.BlockRows <= 0 {
+		c.BlockRows = defaultBlockRows
+	}
+	return c
+}
+
+func (c BuildConfig) validate(d int) error {
+	if c.Precision != Int8 && c.Precision != Int16 {
+		return fmt.Errorf("store: unknown precision %d", c.Precision)
+	}
+	if c.FullDims < 0 || c.FullDims > d {
+		return fmt.Errorf("store: FullDims=%d outside [0, %d]", c.FullDims, d)
+	}
+	if c.Perm != nil {
+		if len(c.Perm) != d {
+			return fmt.Errorf("store: perm length %d for %d dims", len(c.Perm), d)
+		}
+		seen := make([]bool, d)
+		for _, p := range c.Perm {
+			if p < 0 || p >= d || seen[p] {
+				return fmt.Errorf("store: perm is not a permutation of [0,%d)", d)
+			}
+			seen[p] = true
+		}
+	}
+	if (c.Mins == nil) != (c.Steps == nil) {
+		return fmt.Errorf("store: Mins and Steps must be set together")
+	}
+	if c.Mins != nil && (len(c.Mins) != d || len(c.Steps) != d) {
+		return fmt.Errorf("store: scales have %d/%d entries for %d dims", len(c.Mins), len(c.Steps), d)
+	}
+	return nil
+}
+
+// layout is the resolved geometry of a store file.
+type layout struct {
+	n, d      int
+	prec      Precision
+	fullDims  int
+	blockRows int
+	// quantDims = d − fullDims; codeStride is the padded byte length of one
+	// code row.
+	quantDims  int
+	codeStride int
+
+	permOff, minsOff, stepsOff int64
+	f32Off, codesOff           int64
+	snormOff, exactOff         int64
+	fileSize                   int64
+}
+
+func align(x int64, a int64) int64 { return (x + a - 1) / a * a }
+
+// computeLayout derives every section offset from the shape parameters.
+func computeLayout(n, d int, prec Precision, fullDims, blockRows int) layout {
+	l := layout{n: n, d: d, prec: prec, fullDims: fullDims, blockRows: blockRows}
+	l.quantDims = d - fullDims
+	l.codeStride = int(align(int64(l.quantDims)*int64(prec), codeRowAlign))
+	nBlocks := (n + blockRows - 1) / blockRows
+	codesLen := int64(nBlocks) * int64(blockRows) * int64(l.codeStride)
+
+	off := int64(headerSize)
+	l.permOff = align(off, sectionAlign)
+	off = l.permOff + 4*int64(d)
+	l.minsOff = align(off, sectionAlign)
+	off = l.minsOff + 8*int64(d)
+	l.stepsOff = align(off, sectionAlign)
+	off = l.stepsOff + 8*int64(d)
+	l.f32Off = align(off, sectionAlign)
+	off = l.f32Off + 4*int64(fullDims)*int64(n)
+	l.codesOff = align(off, sectionAlign)
+	off = l.codesOff + codesLen
+	l.snormOff = align(off, sectionAlign)
+	off = l.snormOff + 8*int64(n)
+	l.exactOff = align(off, sectionAlign)
+	l.fileSize = l.exactOff + 8*int64(n)*int64(d)
+	return l
+}
+
+// encodeHeader serializes the layout into the fixed header block.
+func (l layout) encodeHeader() []byte {
+	h := make([]byte, headerSize)
+	copy(h, magic)
+	le := binary.LittleEndian
+	le.PutUint32(h[4:], formatVersion)
+	le.PutUint64(h[8:], endianSentinel)
+	le.PutUint64(h[16:], uint64(l.n))
+	le.PutUint64(h[24:], uint64(l.d))
+	le.PutUint32(h[32:], uint32(l.prec))
+	le.PutUint32(h[36:], uint32(l.fullDims))
+	le.PutUint32(h[40:], uint32(l.blockRows))
+	le.PutUint32(h[44:], uint32(l.codeStride))
+	le.PutUint64(h[48:], uint64(l.permOff))
+	le.PutUint64(h[56:], uint64(l.minsOff))
+	le.PutUint64(h[64:], uint64(l.stepsOff))
+	le.PutUint64(h[72:], uint64(l.f32Off))
+	le.PutUint64(h[80:], uint64(l.codesOff))
+	le.PutUint64(h[88:], uint64(l.snormOff))
+	le.PutUint64(h[96:], uint64(l.exactOff))
+	le.PutUint64(h[104:], uint64(l.fileSize))
+	return h
+}
+
+// decodeHeader parses and validates a header block.
+func decodeHeader(h []byte) (layout, error) {
+	var l layout
+	if len(h) < headerSize {
+		return l, fmt.Errorf("store: truncated header (%d bytes)", len(h))
+	}
+	if string(h[:4]) != magic {
+		return l, fmt.Errorf("store: bad magic %q", h[:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(h[4:]); v != formatVersion {
+		return l, fmt.Errorf("store: unsupported format version %d (want %d)", v, formatVersion)
+	}
+	if s := le.Uint64(h[8:]); s != endianSentinel {
+		return l, fmt.Errorf("store: endian sentinel mismatch (%#x)", s)
+	}
+	l.n = int(le.Uint64(h[16:]))
+	l.d = int(le.Uint64(h[24:]))
+	l.prec = Precision(le.Uint32(h[32:]))
+	l.fullDims = int(le.Uint32(h[36:]))
+	l.blockRows = int(le.Uint32(h[40:]))
+	l.codeStride = int(le.Uint32(h[44:]))
+	l.permOff = int64(le.Uint64(h[48:]))
+	l.minsOff = int64(le.Uint64(h[56:]))
+	l.stepsOff = int64(le.Uint64(h[64:]))
+	l.f32Off = int64(le.Uint64(h[72:]))
+	l.codesOff = int64(le.Uint64(h[80:]))
+	l.snormOff = int64(le.Uint64(h[88:]))
+	l.exactOff = int64(le.Uint64(h[96:]))
+	l.fileSize = int64(le.Uint64(h[104:]))
+
+	if l.n <= 0 || l.d <= 0 || l.blockRows <= 0 {
+		return l, fmt.Errorf("store: invalid shape n=%d d=%d blockRows=%d", l.n, l.d, l.blockRows)
+	}
+	if l.prec != Int8 && l.prec != Int16 {
+		return l, fmt.Errorf("store: unknown precision %d", l.prec)
+	}
+	if l.fullDims < 0 || l.fullDims > l.d {
+		return l, fmt.Errorf("store: fullDims=%d outside [0, %d]", l.fullDims, l.d)
+	}
+	l.quantDims = l.d - l.fullDims
+	want := computeLayout(l.n, l.d, l.prec, l.fullDims, l.blockRows)
+	if want != l {
+		return l, fmt.Errorf("store: header offsets disagree with computed layout (corrupt or foreign file)")
+	}
+	return l, nil
+}
+
+// endianSentinelNative reads the header sentinel through the same
+// native-order cast the data regions use; a mismatch means this build's
+// byte order cannot zero-copy the little-endian file.
+func endianSentinelNative(h []byte) uint64 {
+	return *(*uint64)(unsafe.Pointer(&h[8]))
+}
+
+// Zero-copy views over aligned byte regions. Offsets are 64-byte aligned
+// by construction, so the casts never misalign.
+
+func castF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castF32(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func castU32(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func castU16(b []byte) []uint16 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&b[0])), len(b)/2)
+}
+
+// quantize maps x to its code under (min, step), clamped to the code range.
+// step == 0 marks a constant dimension; its code is always 0 and dequant
+// returns min exactly.
+func quantize(x, min, step, maxCode float64) uint64 {
+	if step == 0 {
+		return 0
+	}
+	c := math.Round((x - min) / step)
+	if c < 0 {
+		return 0
+	}
+	if c > maxCode {
+		return uint64(maxCode)
+	}
+	return uint64(c)
+}
+
+// ComputeScales returns per-dimension min/max affine scales in original
+// dimension order: step = (max − min) / maxCode, so codes span the full
+// range and the round-trip error is at most step/2 per dimension.
+func ComputeScales(rows func(yield func(row []float64) bool), d int, prec Precision) (mins, steps []float64) {
+	acc := NewScaleAccumulator(d)
+	rows(func(row []float64) bool {
+		acc.Add(row)
+		return true
+	})
+	return acc.Scales(prec)
+}
+
+// ScaleAccumulator builds min/max scales from a stream of rows, so callers
+// (cmd/datagen) can fix scales in a first pass without holding the matrix.
+type ScaleAccumulator struct {
+	mins, maxs []float64
+	n          int
+}
+
+// NewScaleAccumulator tracks d dimensions.
+func NewScaleAccumulator(d int) *ScaleAccumulator {
+	a := &ScaleAccumulator{mins: make([]float64, d), maxs: make([]float64, d)}
+	for j := range a.mins {
+		a.mins[j] = math.Inf(1)
+		a.maxs[j] = math.Inf(-1)
+	}
+	return a
+}
+
+// Add folds one row into the running extrema.
+func (a *ScaleAccumulator) Add(row []float64) {
+	if len(row) != len(a.mins) {
+		panic(fmt.Sprintf("store: scale accumulator row has %d dims, want %d", len(row), len(a.mins)))
+	}
+	for j, x := range row {
+		if x < a.mins[j] {
+			a.mins[j] = x
+		}
+		if x > a.maxs[j] {
+			a.maxs[j] = x
+		}
+	}
+	a.n++
+}
+
+// Scales finalizes (min, step) per dimension for the precision. Constant
+// (or never-observed) dimensions get step 0.
+func (a *ScaleAccumulator) Scales(prec Precision) (mins, steps []float64) {
+	mins = make([]float64, len(a.mins))
+	steps = make([]float64, len(a.mins))
+	maxCode := prec.maxCode()
+	for j := range mins {
+		lo, hi := a.mins[j], a.maxs[j]
+		if a.n == 0 || lo > hi {
+			lo, hi = 0, 0
+		}
+		mins[j] = lo
+		if hi > lo {
+			steps[j] = (hi - lo) / maxCode
+		}
+	}
+	return mins, steps
+}
+
+// identityPerm returns [0, 1, ..., d).
+func identityPerm(d int) []int {
+	p := make([]int, d)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// writeFileRegions is shared by Writer finalization: flush header and the
+// small metadata sections.
+func writeMeta(f *os.File, l layout, perm []int, mins, steps []float64) error {
+	if _, err := f.WriteAt(l.encodeHeader(), 0); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	pb := make([]byte, 4*l.d)
+	for j, p := range perm {
+		le.PutUint32(pb[4*j:], uint32(p))
+	}
+	if _, err := f.WriteAt(pb, l.permOff); err != nil {
+		return err
+	}
+	fb := make([]byte, 8*l.d)
+	for j, v := range mins {
+		le.PutUint64(fb[8*j:], math.Float64bits(v))
+	}
+	if _, err := f.WriteAt(fb, l.minsOff); err != nil {
+		return err
+	}
+	for j, v := range steps {
+		le.PutUint64(fb[8*j:], math.Float64bits(v))
+	}
+	if _, err := f.WriteAt(fb, l.stepsOff); err != nil {
+		return err
+	}
+	return nil
+}

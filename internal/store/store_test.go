@@ -1,0 +1,388 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/index"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// testData generates a musk-like set with heterogeneous per-dimension
+// scales (the hard case for scalar quantization) split into data and
+// held-out query rows.
+func testData(t testing.TB, n, nq, d int, seed int64) (data, queries *linalg.Dense) {
+	t.Helper()
+	k := 6
+	if k > d {
+		k = d
+	}
+	strengths := make([]float64, k)
+	for i := range strengths {
+		strengths[i] = []float64{6, 6, 3.5, 3.5, 2, 2}[i%6]
+	}
+	ds, err := synthetic.Generate(synthetic.LatentFactorConfig{
+		Name: "store-test", N: n + nq, Dims: d, Classes: 2,
+		ConceptStrengths: strengths, ClassSeparation: 0.9,
+		NoiseStdDev: 2.2, ScaleSpread: 1.4, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.X.RowSlice(0, n), ds.X.RowSlice(n, n+nq)
+}
+
+func buildStore(t testing.TB, data *linalg.Dense, cfg BuildConfig) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.qvs")
+	if err := Write(path, data, cfg); err != nil {
+		t.Fatalf("writing store: %v", err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// reversePerm is a fixed non-identity permutation for the variant matrix.
+func reversePerm(d int) []int {
+	p := make([]int, d)
+	for i := range p {
+		p[i] = d - 1 - i
+	}
+	return p
+}
+
+// storeVariants is the configuration matrix the contract tests run under:
+// both precisions, identity and non-identity storage orders, with and
+// without a full-precision prefix, and a block size smaller than n.
+func storeVariants(d int) map[string]BuildConfig {
+	return map[string]BuildConfig{
+		"int8":          {Precision: Int8},
+		"int16":         {Precision: Int16},
+		"int8-perm":     {Precision: Int8, Perm: reversePerm(d)},
+		"int8-full8":    {Precision: Int8, FullDims: 8},
+		"int16-full4":   {Precision: Int16, Perm: reversePerm(d), FullDims: 4},
+		"int8-smallblk": {Precision: Int8, BlockRows: 64},
+	}
+}
+
+// TestExactRegionBitIdentical pins the full-precision region: the mmapped
+// exact matrix must reproduce the source rows bit for bit.
+func TestExactRegionBitIdentical(t *testing.T) {
+	data, _ := testData(t, 300, 1, 37, 11)
+	for name, cfg := range storeVariants(37) {
+		s := buildStore(t, data, cfg)
+		em := s.ExactMatrix()
+		for i := 0; i < data.Rows(); i++ {
+			src, got := data.RawRow(i), em.RawRow(i)
+			for j := range src {
+				if math.Float64bits(src[j]) != math.Float64bits(got[j]) {
+					t.Fatalf("%s: exact[%d][%d] = %x, want %x", name, i, j,
+						math.Float64bits(got[j]), math.Float64bits(src[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripErrorBound is the quantization property test: for every
+// stored point and every dimension, |dequant(quant(x)) − x| ≤ step/2 (plus
+// float32 rounding on full-precision prefix dims).
+func TestRoundTripErrorBound(t *testing.T) {
+	data, _ := testData(t, 400, 1, 29, 13)
+	for name, cfg := range storeVariants(29) {
+		s := buildStore(t, data, cfg)
+		steps := s.Steps()
+		full := make([]bool, 29)
+		if f := s.FullDims(); f > 0 {
+			perm := cfg.Perm
+			if perm == nil {
+				perm = identityPerm(29)
+			}
+			for j := 0; j < f; j++ {
+				full[perm[j]] = true
+			}
+		}
+		for i := 0; i < data.Rows(); i++ {
+			src, rec := data.RawRow(i), s.DequantRow(i)
+			for j := range src {
+				err := math.Abs(rec[j] - src[j])
+				var bound float64
+				if full[j] {
+					// float32 round-off: half an ulp at the value's scale.
+					bound = math.Abs(src[j])*math.Pow(2, -24) + 1e-300
+				} else {
+					bound = steps[j]/2*(1+1e-12) + 1e-12*math.Abs(src[j])
+				}
+				if err > bound {
+					t.Fatalf("%s: row %d dim %d: |dequant−x| = %g exceeds bound %g (step %g)",
+						name, i, j, err, bound, steps[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFullRescoreBitIdenticalToSearchSetBatch is the exactness contract:
+// with a rescore budget covering every point, two-phase search must return
+// results bit-identical to knn.SearchSetBatch under the canonical
+// (distance, index) order — distances included, since phase 2 scores with
+// the same scalar Euclidean metric against the same float64 bits.
+func TestFullRescoreBitIdenticalToSearchSetBatch(t *testing.T) {
+	data, queries := testData(t, 500, 24, 31, 17)
+	want := knn.SearchSetBatch(data, queries, 10, knn.Euclidean{}, false)
+	for name, cfg := range storeVariants(31) {
+		s := buildStore(t, data, cfg)
+		for qi := 0; qi < queries.Rows(); qi++ {
+			got := s.Search(queries.RawRow(qi), 10, s.Len())
+			if len(got) != len(want[qi]) {
+				t.Fatalf("%s: query %d returned %d neighbors, want %d", name, qi, len(got), len(want[qi]))
+			}
+			for r := range got {
+				if got[r].Index != want[qi][r].Index ||
+					math.Float64bits(got[r].Dist) != math.Float64bits(want[qi][r].Dist) {
+					t.Fatalf("%s: query %d rank %d: got (%d, %x), want (%d, %x)",
+						name, qi, r, got[r].Index, math.Float64bits(got[r].Dist),
+						want[qi][r].Index, math.Float64bits(want[qi][r].Dist))
+				}
+			}
+		}
+	}
+}
+
+// TestPartialRescoreRecall pins the two-phase quality: with a modest
+// rescore budget the store must find essentially all true neighbors, and
+// every reported distance must still be exact (phase 2 only ever reports
+// exact distances).
+func TestPartialRescoreRecall(t *testing.T) {
+	data, queries := testData(t, 3000, 32, 64, 19)
+	k := 10
+	want := knn.SearchSetBatch(data, queries, k, knn.Euclidean{}, false)
+	for name, cfg := range storeVariants(64) {
+		s := buildStore(t, data, cfg)
+		got := s.SearchBatch(queries, k, 10*k)
+		recall := index.MeanRecall(got, want)
+		if recall < 0.99 {
+			t.Errorf("%s: recall@%d = %.4f with rescore budget %d, want >= 0.99", name, k, recall, 10*k)
+		}
+		e := knn.Euclidean{}
+		for qi := range got {
+			for _, nb := range got[qi] {
+				exact := e.Distance(data.RawRow(nb.Index), queries.RawRow(qi))
+				if math.Float64bits(exact) != math.Float64bits(nb.Dist) {
+					t.Fatalf("%s: query %d neighbor %d reported dist %v, exact %v", name, qi, nb.Index, nb.Dist, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchRangeMergesToWholeStore splits the store into ranges aligned
+// and unaligned with block boundaries and checks that merging per-range
+// results under the canonical order reproduces the whole-store search —
+// the contract the sharded serving layer relies on.
+func TestSearchRangeMergesToWholeStore(t *testing.T) {
+	data, queries := testData(t, 700, 8, 23, 23)
+	s := buildStore(t, data, BuildConfig{Precision: Int8, BlockRows: 128})
+	k := 7
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.RawRow(qi)
+		whole := s.Search(q, k, s.Len())
+		for _, cuts := range [][]int{{0, 350, 700}, {0, 128, 512, 700}, {0, 1, 699, 700}} {
+			var merged []knn.Neighbor
+			for c := 0; c+1 < len(cuts); c++ {
+				part, _ := s.SearchRange(q, cuts[c], cuts[c+1], k, cuts[c+1]-cuts[c])
+				merged = append(merged, part...)
+			}
+			knn.SortNeighbors(merged)
+			if len(merged) > k {
+				merged = merged[:k]
+			}
+			for r := range whole {
+				if merged[r] != whole[r] {
+					t.Fatalf("query %d cuts %v rank %d: merged %+v, whole %+v", qi, cuts, r, merged[r], whole[r])
+				}
+			}
+		}
+	}
+}
+
+// TestWriterMisuse covers the streaming writer's error paths.
+func TestWriterMisuse(t *testing.T) {
+	dir := t.TempDir()
+	mins := []float64{0, 0}
+	steps := []float64{1, 1}
+
+	if _, err := Create(filepath.Join(dir, "a.qvs"), 4, 2, BuildConfig{}); err == nil {
+		t.Error("Create without scales must fail")
+	}
+	w, err := Create(filepath.Join(dir, "b.qvs"), 2, 2, BuildConfig{Mins: mins, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]float64{1, 2, 3}); err == nil {
+		t.Error("Append with wrong dims must fail")
+	}
+	if err := w.Append([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close before all rows appended must fail")
+	}
+
+	w2, err := Create(filepath.Join(dir, "c.qvs"), 1, 2, BuildConfig{Mins: mins, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]float64{1, 2}); err == nil {
+		t.Error("Append past n must fail")
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Create(filepath.Join(dir, "d.qvs"), 3, 2,
+		BuildConfig{Mins: mins, Steps: steps, Perm: []int{0, 0}}); err == nil {
+		t.Error("non-permutation Perm must fail")
+	}
+}
+
+// TestOpenRejectsCorruptFiles covers the header validation paths.
+func TestOpenRejectsCorruptFiles(t *testing.T) {
+	data, _ := testData(t, 50, 1, 5, 29)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.qvs")
+	if err := Write(path, data, BuildConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"bad magic":       func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":     func(b []byte) []byte { b[4] = 99; return b },
+		"truncated":       func(b []byte) []byte { return b[:len(b)/2] },
+		"offset tampered": func(b []byte) []byte { b[80] ^= 0x40; return b },
+	}
+	for name, corrupt := range cases {
+		cp := filepath.Join(dir, "bad.qvs")
+		buf := make([]byte, len(raw))
+		copy(buf, raw)
+		if err := os.WriteFile(cp, corrupt(buf), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if s, err := Open(cp); err == nil {
+			s.Close()
+			t.Errorf("%s: Open accepted a corrupt file", name)
+		}
+	}
+}
+
+// TestConcurrentSearchAndClose drives parallel searches to completion and
+// then closes; under -race this exercises the mapping-lifetime lock.
+func TestConcurrentSearchAndClose(t *testing.T) {
+	data, queries := testData(t, 400, 16, 19, 31)
+	path := filepath.Join(t.TempDir(), "c.qvs")
+	if err := Write(path, data, BuildConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for qi := 0; qi < queries.Rows(); qi++ {
+				res := s.Search(queries.RawRow(qi), 5, 50)
+				if len(res) != 5 {
+					t.Errorf("worker %d query %d: %d neighbors", w, qi, len(res))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	st := s.Stats()
+	if st.Scanned == 0 || st.Rescored == 0 {
+		t.Errorf("stats not recorded: %+v", st)
+	}
+}
+
+// TestStreamingWriterMatchesWrite pins the two construction paths against
+// each other: Create+Append with externally accumulated scales must produce
+// a byte-identical file to the whole-matrix Write path.
+func TestStreamingWriterMatchesWrite(t *testing.T) {
+	data, _ := testData(t, 256, 1, 17, 37)
+	dir := t.TempDir()
+
+	whole := filepath.Join(dir, "whole.qvs")
+	if err := Write(whole, data, BuildConfig{Precision: Int16, FullDims: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	acc := NewScaleAccumulator(17)
+	for i := 0; i < data.Rows(); i++ {
+		acc.Add(data.RawRow(i))
+	}
+	mins, steps := acc.Scales(Int16)
+	streamed := filepath.Join(dir, "streamed.qvs")
+	w, err := Create(streamed, data.Rows(), 17, BuildConfig{Precision: Int16, FullDims: 3, Mins: mins, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.Rows(); i++ {
+		if err := w.Append(data.RawRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("file sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("files differ at byte %d", i)
+		}
+	}
+}
+
+func randQuery(rng *rand.Rand, d int) []float64 {
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	return q
+}

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # bench.sh measures the batch-distance engine's key kernels and writes
 # BENCH_knn.json (or $1) with ns/op for each, alongside the frozen pre-engine
-# baselines so the before/after comparison travels with the repo. It then
+# baselines so the before/after comparison travels with the repo. It also
+# runs `drtool -store-bench` on the quantized vector store (STORE_N points,
+# default one million, at d=166) and splices its recall / peak-RSS /
+# bytes-per-vector / qps table into the same JSON under "store". It then
 # drives the sharded serving engine through `drtool -serve-bench` at the
 # acceptance workload (10k queries, concurrency 32, musk-like n=6598 d=166)
 # and records the outcome accounting and latency percentiles in
 # BENCH_serve.json (or $3).
 #
 # Usage: scripts/bench.sh [output.json] [benchtime] [serve-output.json]
+# Env:   STORE_N     store-bench scale (default 1000000; 0 skips the store run)
+#        STORE_FILE  reuse/build the store at this path instead of a temp file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_knn.json}
 benchtime=${2:-5x}
 serveout=${3:-BENCH_serve.json}
+storen=${STORE_N:-1000000}
+storefile=${STORE_FILE:-}
 
 # Never record numbers from a tree that violates the repo's own invariants:
 # an unguarded kernel, a global-rand call site, or a lock held across a
@@ -29,9 +36,9 @@ fi
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-# The ns-scale Dot kernel needs enough iterations to swamp timer overhead,
-# so it gets a time-based budget instead of the fixed iteration count.
-go test -run=NONE -benchtime=200ms -bench='^BenchmarkDot166$' ./internal/linalg/ >>"$tmp"
+# The ns-scale Dot kernels need enough iterations to swamp timer overhead,
+# so they get a time-based budget instead of the fixed iteration count.
+go test -run=NONE -benchtime=200ms -bench='^(BenchmarkDot166|BenchmarkDotU8_166|BenchmarkDotU16_166)$' ./internal/linalg/ >>"$tmp"
 go test -run=NONE -benchtime="$benchtime" \
   -bench='^(BenchmarkMulT512x166|BenchmarkMulNaiveT512x166|BenchmarkAtA6598x166)$' \
   ./internal/linalg/ >>"$tmp"
@@ -39,11 +46,29 @@ go test -run=NONE -benchtime="$benchtime" \
   -bench='^(BenchmarkPairwiseSq1024x166|BenchmarkSearchSetParallel6598x166|BenchmarkSearchSetBatch6598x166)$' \
   ./internal/knn/ >>"$tmp"
 go test -run=NONE -benchtime="$benchtime" -bench='^BenchmarkLSHQueryD166$' . >>"$tmp"
+go test -run=NONE -benchtime="$benchtime" \
+  -bench='^(BenchmarkStoreSearchInt8_6598x166|BenchmarkStoreSearchInt16_6598x166|BenchmarkExactSearch6598x166)$' \
+  ./internal/store/ >>"$tmp"
 # One full drlint pass (parse + type-check + all eight rules): the cost CI
 # and `go test ./...` pay per run, recorded so regressions are visible.
 go test -run=NONE -benchtime=1x -bench='^BenchmarkDrlintModule$' ./internal/analysis/ >>"$tmp"
 
-awk -v out="$out" '
+# Quantized-store acceptance run: stream-build STORE_N x 166 points, verify
+# the store-backed exact path bit-identical to SearchSetBatch, measure
+# recall@10 of the budgeted approximate path, and record peak RSS and
+# bytes-per-vector next to the kernel numbers. Its JSON is spliced into
+# $out below as the "store" object.
+storetmp=""
+if [ "$storen" -gt 0 ]; then
+  storetmp=$(mktemp)
+  storeargs=(-store-bench -store-n "$storen" -store-out "$storetmp" -store-min-recall 0.99)
+  if [ -n "$storefile" ]; then
+    storeargs+=(-store "$storefile")
+  fi
+  go run ./cmd/drtool "${storeargs[@]}"
+fi
+
+awk -v out="$out" -v storefile="$storetmp" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
@@ -70,10 +95,23 @@ END {
     printf "    \"SearchSetParallel6598x166\": 60404269,\n" >> out
     printf "    \"MulNaiveT512x166\": 25600000,\n" >> out
     printf "    \"CovarianceMatrix6598x166\": 208387405\n" >> out
-    printf "  }\n" >> out
+    if (storefile == "") {
+        printf "  }\n" >> out
+    } else {
+        # Splice the store-bench report in as the "store" object.
+        printf "  },\n" >> out
+        printf "  \"store\": " >> out
+        first = 1
+        while ((getline line < storefile) > 0) {
+            if (first) { printf "%s\n", line >> out; first = 0 }
+            else       { printf "  %s\n", line >> out }
+        }
+        close(storefile)
+    }
     printf "}\n" >> out
 }
 ' "$tmp"
+rm -f "$storetmp"
 
 echo "wrote $out"
 cat "$out"
