@@ -83,6 +83,7 @@ type options struct {
 	storeFull      int
 	storeQueries   int
 	storeRescore   int
+	storeWorkers   int
 	storeVerify    int
 	storeRequests  int
 	storeSeed      int64
@@ -128,6 +129,7 @@ func main() {
 	flag.IntVar(&o.storeFull, "store-full", 0, "store-bench: leading storage dims kept at float32")
 	flag.IntVar(&o.storeQueries, "store-queries", 32, "store-bench: held-out query rows (recall probe set)")
 	flag.IntVar(&o.storeRescore, "store-rescore", 2000, "store-bench: per-shard exact-rescore budget of the approximate path")
+	flag.IntVar(&o.storeWorkers, "store-workers", 0, "store-bench: intra-query scan workers per shard (0 = 1)")
 	flag.IntVar(&o.storeVerify, "store-verify", 4, "store-bench: queries checked bit-identical to SearchSetBatch via the exact path")
 	flag.IntVar(&o.storeRequests, "store-requests", 100, "store-bench: timed throughput requests")
 	flag.Int64Var(&o.storeSeed, "store-seed", 1, "store-bench: generator seed")

@@ -1,7 +1,6 @@
 package knn
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"runtime"
@@ -19,19 +18,39 @@ type Neighbor struct {
 }
 
 // neighborHeap is a bounded max-heap on distance, keeping the k closest
-// points seen so far with the current worst at the root.
+// points seen so far with the current worst at the root. The sift
+// operations are hand-rolled rather than going through container/heap:
+// heap.Push boxes every pushed Neighbor into an interface{}, which costs
+// one heap allocation per admitted candidate on the scan hot path.
 type neighborHeap []Neighbor
 
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	out := old[n-1]
-	*h = old[:n-1]
-	return out
+func (h neighborHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Dist >= h[i].Dist {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (h neighborHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h[l].Dist > h[worst].Dist {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h[r].Dist > h[worst].Dist {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // Collector accumulates the k nearest neighbors of a query incrementally.
@@ -55,14 +74,15 @@ func NewCollector(k int) *Collector {
 // not yet full).
 func (c *Collector) Offer(index int, dist float64) bool {
 	if len(c.heap) < c.k {
-		heap.Push(&c.heap, Neighbor{Index: index, Dist: dist})
+		c.heap = append(c.heap, Neighbor{Index: index, Dist: dist})
+		c.heap.siftUp(len(c.heap) - 1)
 		return true
 	}
 	if dist >= c.heap[0].Dist {
 		return false
 	}
 	c.heap[0] = Neighbor{Index: index, Dist: dist}
-	heap.Fix(&c.heap, 0)
+	c.heap.siftDown(0)
 	return true
 }
 
@@ -78,6 +98,14 @@ func (c *Collector) Worst() float64 {
 
 // Full reports whether k candidates have been admitted.
 func (c *Collector) Full() bool { return len(c.heap) == c.k }
+
+// Bound is the admission threshold Offer applies: a candidate is admitted
+// iff its distance is strictly below Bound(). It equals Worst() — the
+// current k-th best distance, +Inf while not full — under a name that
+// matches how blocked scans use it: pre-filtering a scored block against
+// Bound() before offering admits exactly the same set as offering every
+// entry, so threshold pruning cannot change results.
+func (c *Collector) Bound() float64 { return c.Worst() }
 
 // LessNeighbor is the canonical result ordering shared by every search
 // path: ascending distance, exact-distance ties broken by ascending index.

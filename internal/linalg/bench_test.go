@@ -52,15 +52,21 @@ func BenchmarkMatMul128(b *testing.B) {
 
 var benchSink float64
 
-func BenchmarkDot166(b *testing.B) {
+func benchDot(b *testing.B, d int) {
 	rng := rand.New(rand.NewSource(7))
-	x := randDense(rng, 2, 166)
+	x := randDense(rng, 2, d)
 	u, v := x.RawRow(0), x.RawRow(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchSink = Dot(u, v)
 	}
 }
+
+// The three dimensions of the kernel table in EXPERIMENTS.md: d=166
+// (musk), d=64 (reduced), d=16 (deep-reduced).
+func BenchmarkDot16(b *testing.B)  { benchDot(b, 16) }
+func BenchmarkDot64(b *testing.B)  { benchDot(b, 64) }
+func BenchmarkDot166(b *testing.B) { benchDot(b, 166) }
 
 func BenchmarkDotGeneric166(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))

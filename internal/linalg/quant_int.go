@@ -1,0 +1,154 @@
+package linalg
+
+import "fmt"
+
+// Integer quantized-code inner products. The float kernels above (DotU8 /
+// DotU16) widen every code to float64 in-register, which makes the scan
+// ALU-bound: the FMA path retires ~1 code per cycle while the memory
+// stream is only 1–2 B/code. These kernels remove the float conversion by
+// quantizing the *query* too: the per-query weights tⱼ are affinely
+// mapped to 15-bit codes uⱼ ∈ [0, 32767] (Q15), and the per-point work
+// becomes the exact integer dot Σ uⱼ·cⱼ evaluated with VPMADDWD — no
+// int→float conversion in the hot loop, and the caller reconstructs
+//
+//	Σ tⱼ·cⱼ ≈ tmin·Σcⱼ + tstep·(Σ uⱼ·cⱼ)
+//
+// from the per-row code sum Σcⱼ (cached at store-open time next to the
+// row norms). The integer dot itself is computed exactly in int64, so
+// assembly and portable fallbacks agree bit for bit — parity tests demand
+// exact equality, not a ulp tolerance.
+//
+// Why 15-bit query codes instead of the symmetric u8×u8 VPMADDUBSW form:
+// VPMADDUBSW saturates its i16 pair sums (u8×u8 pairs reach 2·255·255 =
+// 130050 > 32767), which would make the kernel value depend on data order
+// and break exactness. With u ≤ 32767 every VPMADDWD pair sum fits i32
+// exactly — 2·32767·255 for u8 codes, and < 2³¹ for offset-corrected u16
+// codes — at the same instruction count, while giving the query 128×
+// finer resolution than a u8 grid, so query-side rounding is negligible
+// next to the data-side quantization error the rescore already absorbs.
+
+// MaxQ15 is the largest query code the integer kernels accept. Codes
+// above it would be interpreted as negative i16 lanes by VPMADDWD; the
+// store's query quantizer produces codes in [0, MaxQ15] by construction.
+const MaxQ15 = 32767
+
+// DotQ15U8 returns Σ u[j]·c[j] as an exact int64 for Q15 query codes u
+// (each ≤ MaxQ15) against uint8 data codes c. Dispatches to an AVX2
+// kernel on capable amd64 hardware; assembly and the portable fallback
+// are bit-identical because the sum is exact integer arithmetic.
+// Supported up to len(u) = 2²⁰ dimensions (i64 never overflows there).
+func DotQ15U8(u []uint16, c []uint8) int64 {
+	if len(u) != len(c) {
+		panic(fmt.Sprintf("linalg: DotQ15U8 length mismatch %d vs %d", len(u), len(c)))
+	}
+	return dotQ15U8Unitary(u, c)
+}
+
+// DotQ15U16 is DotQ15U8 for uint16 data codes (int16-precision scalar
+// quantization). Supported up to len(u) = 65536 dimensions (the in-kernel
+// i32 code-sum accumulator bounds it).
+func DotQ15U16(u []uint16, c []uint16) int64 {
+	if len(u) != len(c) {
+		panic(fmt.Sprintf("linalg: DotQ15U16 length mismatch %d vs %d", len(u), len(c)))
+	}
+	return dotQ15U16Unitary(u, c)
+}
+
+// DotQ15U8x4 computes four row dots at once: out[r] = Σⱼ u[j]·rows[r·stride+j]
+// for r ∈ {0,1,2,3}. The assembly body loads each 16-code query chunk once
+// and applies it to all four rows, amortizing query-side loads across the
+// block-major code layout of the store scan. out is fully overwritten.
+func DotQ15U8x4(u []uint16, rows []uint8, stride int, out *[4]int64) {
+	if stride < len(u) {
+		panic(fmt.Sprintf("linalg: DotQ15U8x4 stride %d < dim %d", stride, len(u)))
+	}
+	if len(rows) < 3*stride+len(u) {
+		panic(fmt.Sprintf("linalg: DotQ15U8x4 rows has %d codes, need %d", len(rows), 3*stride+len(u)))
+	}
+	dotQ15U8x4Unitary(u, rows, stride, out)
+}
+
+// DotQ15U8x8 is DotQ15U8x4 over eight rows: out[r] = Σⱼ u[j]·rows[r·stride+j]
+// for r ∈ {0..7}. Eight independent row streams keep roughly twice as
+// many cache misses in flight as the ×4 form, which is what a DRAM-bound
+// streaming scan needs to approach the machine's bandwidth — use it for
+// long sequential sweeps, the ×4 form for short or irregular ones. out
+// is fully overwritten; results are bit-identical to eight unitary dots.
+func DotQ15U8x8(u []uint16, rows []uint8, stride int, out *[8]int64) {
+	if stride < len(u) {
+		panic(fmt.Sprintf("linalg: DotQ15U8x8 stride %d < dim %d", stride, len(u)))
+	}
+	if len(rows) < 7*stride+len(u) {
+		panic(fmt.Sprintf("linalg: DotQ15U8x8 rows has %d codes, need %d", len(rows), 7*stride+len(u)))
+	}
+	dotQ15U8x8Unitary(u, rows, stride, out)
+}
+
+// DotQ15U16x4 is DotQ15U8x4 for uint16 data codes. stride is in codes
+// (uint16 elements), not bytes.
+func DotQ15U16x4(u []uint16, rows []uint16, stride int, out *[4]int64) {
+	if stride < len(u) {
+		panic(fmt.Sprintf("linalg: DotQ15U16x4 stride %d < dim %d", stride, len(u)))
+	}
+	if len(rows) < 3*stride+len(u) {
+		panic(fmt.Sprintf("linalg: DotQ15U16x4 rows has %d codes, need %d", len(rows), 3*stride+len(u)))
+	}
+	dotQ15U16x4Unitary(u, rows, stride, out)
+}
+
+// dotQ15U8Generic is the portable kernel. Four independent accumulators
+// break the add-latency chain; integer addition is associative, so any
+// split is bit-identical to the assembly path.
+func dotQ15U8Generic(u []uint16, c []uint8) int64 {
+	n := len(u)
+	c = c[:n] // hoist the bounds check out of the loop
+	var s0, s1, s2, s3 int64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += int64(u[i]) * int64(c[i])
+		s1 += int64(u[i+1]) * int64(c[i+1])
+		s2 += int64(u[i+2]) * int64(c[i+2])
+		s3 += int64(u[i+3]) * int64(c[i+3])
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += int64(u[i]) * int64(c[i])
+	}
+	return s
+}
+
+func dotQ15U16Generic(u []uint16, c []uint16) int64 {
+	n := len(u)
+	c = c[:n]
+	var s0, s1, s2, s3 int64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += int64(u[i]) * int64(c[i])
+		s1 += int64(u[i+1]) * int64(c[i+1])
+		s2 += int64(u[i+2]) * int64(c[i+2])
+		s3 += int64(u[i+3]) * int64(c[i+3])
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += int64(u[i]) * int64(c[i])
+	}
+	return s
+}
+
+func dotQ15U8x4Generic(u []uint16, rows []uint8, stride int, out *[4]int64) {
+	for r := 0; r < 4; r++ {
+		out[r] = dotQ15U8Generic(u, rows[r*stride:r*stride+len(u)])
+	}
+}
+
+func dotQ15U16x4Generic(u []uint16, rows []uint16, stride int, out *[4]int64) {
+	for r := 0; r < 4; r++ {
+		out[r] = dotQ15U16Generic(u, rows[r*stride:r*stride+len(u)])
+	}
+}
+
+func dotQ15U8x8Generic(u []uint16, rows []uint8, stride int, out *[8]int64) {
+	for r := 0; r < 8; r++ {
+		out[r] = dotQ15U8Generic(u, rows[r*stride:r*stride+len(u)])
+	}
+}

@@ -132,16 +132,22 @@ func TestDotQuantLengthMismatchPanics(t *testing.T) {
 	DotU8(make([]float64, 3), make([]uint8, 4))
 }
 
-func BenchmarkDotU8_166(b *testing.B) {
+func benchDotU8(b *testing.B, d int) {
 	rng := rand.New(rand.NewSource(91))
-	w, c := randVec(rng, 166), randCodesU8(rng, 166)
-	b.SetBytes(166)
+	w, c := randVec(rng, d), randCodesU8(rng, d)
+	b.SetBytes(int64(d))
 	var s float64
 	for i := 0; i < b.N; i++ {
 		s += DotU8(w, c)
 	}
 	benchSinkQuant = s
 }
+
+// Same dimension grid as the integer Q15 benchmarks, for the
+// float-vs-widening-vs-integer kernel table in EXPERIMENTS.md.
+func BenchmarkDotU8_16(b *testing.B)  { benchDotU8(b, 16) }
+func BenchmarkDotU8_64(b *testing.B)  { benchDotU8(b, 64) }
+func BenchmarkDotU8_166(b *testing.B) { benchDotU8(b, 166) }
 
 func BenchmarkDotU16_166(b *testing.B) {
 	rng := rand.New(rand.NewSource(93))

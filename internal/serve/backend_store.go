@@ -22,13 +22,14 @@ type quantShard struct {
 	lo, hi  int
 	st      *store.Store
 	rescore int // approximate-path budget; <=0 selects rescoreFactor·k
+	workers int // intra-query scan parallelism (Config.ScanWorkers)
 }
 
 // rescoreFactor scales k into the default approximate rescore budget.
 const rescoreFactor = 32
 
 func (s *quantShard) searchExact(query []float64, k int) shardOut {
-	neigh, _ := s.st.SearchRange(query, s.lo, s.hi, k, s.hi-s.lo)
+	neigh, _ := s.st.SearchRangeWorkers(query, s.lo, s.hi, k, s.hi-s.lo, s.workers)
 	return shardOut{neigh: neigh}
 }
 
@@ -37,7 +38,7 @@ func (s *quantShard) searchApprox(query []float64, k, probes int) shardOut {
 	if budget <= 0 {
 		budget = rescoreFactor * k
 	}
-	neigh, rescored := s.st.SearchRange(query, s.lo, s.hi, k, budget)
+	neigh, rescored := s.st.SearchRangeWorkers(query, s.lo, s.hi, k, budget, s.workers)
 	return shardOut{neigh: neigh, candidates: rescored}
 }
 
@@ -70,7 +71,7 @@ func buildStoreSnapshot(st *store.Store, cfg Config, epoch uint64) *snapshot {
 		snap.shards[s] = &shard{
 			lo: r[0],
 			hi: r[1],
-			be: &quantShard{lo: r[0], hi: r[1], st: st, rescore: cfg.Rescore},
+			be: &quantShard{lo: r[0], hi: r[1], st: st, rescore: cfg.Rescore, workers: cfg.ScanWorkers},
 		}
 	}
 	return snap

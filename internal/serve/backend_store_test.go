@@ -113,6 +113,54 @@ func TestStoreApproxRecallAndCandidates(t *testing.T) {
 	}
 }
 
+// TestStoreScanWorkersBitIdentical pins the intra-query parallelism knob:
+// engines differing only in ScanWorkers must serve bit-identical results on
+// both the exact and the budgeted approximate path — segment splitting and
+// merge order are invisible to callers.
+func TestStoreScanWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const n, d, nq, k = 3000, 23, 25, 10
+	data := randMatrix(rng, n, d)
+	queries := randMatrix(rng, nq, d)
+	st := openTestStore(t, data, store.BuildConfig{Precision: store.Int8})
+
+	run := func(scanWorkers int) [][]knn.Neighbor {
+		e, err := NewFromStore(st, Config{
+			Shards:      2,
+			QueueDepth:  4096,
+			Rescore:     150,
+			ScanWorkers: scanWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		out := searchAll(t, e, queries, k, ModeExact)
+		for i := 0; i < nq; i++ {
+			res, err := e.SearchMode(context.Background(), queries.RawRow(i), k, ModeApprox)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res.Neighbors)
+		}
+		return out
+	}
+
+	want := run(1)
+	for _, workers := range []int{0, 2, 3} {
+		got := run(workers)
+		for i := range want {
+			for j := range want[i] {
+				g, w := got[i][j], want[i][j]
+				if g.Index != w.Index || math.Float64bits(g.Dist) != math.Float64bits(w.Dist) {
+					t.Fatalf("ScanWorkers=%d result %d neighbor %d: got %+v want %+v",
+						workers, i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
 // TestSwapBetweenDenseAndStore moves one engine across backends and checks
 // each generation serves from the right one.
 func TestSwapBetweenDenseAndStore(t *testing.T) {

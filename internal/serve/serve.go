@@ -124,6 +124,14 @@ type Config struct {
 	// rescoring. 0 selects 32·k at query time. Ignored by dense-backed
 	// engines, whose approximate path is LSH probing.
 	Rescore int
+	// ScanWorkers is the intra-query parallelism of store-backed shards:
+	// each shard's quantized scan splits its row range across up to
+	// ScanWorkers goroutines (see store.SearchRangeWorkers). Results are
+	// bit-identical at any worker count. 0 selects 1 — shards already
+	// spread concurrent queries across cores, so intra-query splitting
+	// only pays when queries are scarce relative to processors (few large
+	// shards, low request concurrency). Ignored by dense-backed engines.
+	ScanWorkers int
 	// LSH configures each shard's hash index. LSH.Seed is the root seed;
 	// shard i derives an independent seed from it, so a snapshot is
 	// deterministic for a fixed config regardless of build parallelism.
@@ -156,6 +164,9 @@ func (c Config) withDefaults(n, procs int) Config {
 	}
 	if c.Probes <= 0 {
 		c.Probes = 16
+	}
+	if c.ScanWorkers <= 0 {
+		c.ScanWorkers = 1
 	}
 	return c
 }

@@ -16,6 +16,7 @@ func benchStore(b *testing.B, n, d int, cfg BuildConfig, rescore int) {
 	s := buildStore(b, data, cfg)
 	rng := rand.New(rand.NewSource(103))
 	_ = rng
+	b.ReportAllocs()
 	b.ResetTimer()
 	qi := 0
 	for i := 0; i < b.N; i++ {
@@ -24,6 +25,34 @@ func benchStore(b *testing.B, n, d int, cfg BuildConfig, rescore int) {
 			b.Fatal("empty result")
 		}
 		qi = (qi + 1) % queries.Rows()
+	}
+}
+
+// TestSearchSteadyStateAllocs pins the sync.Pool plumbing: once the plan
+// and scratch pools are warm, a sequential Search must not allocate its
+// per-query scan state (p.t/p.qf/p.u and the block score buffer) anew.
+// What remains per call is the collector, its heap, the sorted results
+// copy, and sort.Slice bookkeeping — comfortably under 10 allocations.
+// Before pooling, the plan alone added three slice allocations per call
+// on this shape, so a regression here trips the bound immediately.
+func TestSearchSteadyStateAllocs(t *testing.T) {
+	data, queries := testData(t, 2000, 4, 64, 61)
+	for name, cfg := range map[string]BuildConfig{
+		"int8":  {Precision: Int8},
+		"int16": {Precision: Int16, FullDims: 4},
+	} {
+		s := buildStore(t, data, cfg)
+		q := queries.RawRow(0)
+		// Warm the pools and the page cache.
+		for i := 0; i < 3; i++ {
+			s.Search(q, 10, 100)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			s.Search(q, 10, 100)
+		})
+		if avg > 10 {
+			t.Errorf("%s: steady-state Search does %.1f allocs/op, want <= 10 (plan/scratch pooling regressed?)", name, avg)
+		}
 	}
 }
 

@@ -20,6 +20,23 @@ func madviseRandom(b []byte) {
 	madvise(b, syscall.MADV_RANDOM)
 }
 
+// madviseWillneed starts asynchronous read-ahead of the range. Issued
+// for every phase-2 candidate row before the rescore loop touches any of
+// them, it turns ~budget serial demand faults (each a blocking disk
+// round-trip on a cold store) into one batch of overlapping reads.
+func madviseWillneed(b []byte) {
+	madvise(b, syscall.MADV_WILLNEED)
+}
+
+// madviseHugepage asks for transparent huge pages on an anonymous range.
+// The scan-side caches are tens of MB streamed once per query; with the
+// kernel's default "madvise" THP policy they would sit on 4 kB pages and
+// pay a TLB walk every 64 rows of the prefix sweep.
+func madviseHugepage(b []byte) {
+	const madvHugepage = 14
+	madvise(b, madvHugepage)
+}
+
 func madvise(b []byte, advice int) {
 	if len(b) == 0 {
 		return

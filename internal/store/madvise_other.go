@@ -9,5 +9,11 @@ func madviseDontneed(b []byte) {}
 // madviseRandom is a no-op off linux; readahead behavior is unmodified.
 func madviseRandom(b []byte) {}
 
+// madviseWillneed is a no-op off linux; rescore rows fault on demand.
+func madviseWillneed(b []byte) {}
+
+// madviseHugepage is a no-op off linux; page size is left to the system.
+func madviseHugepage(b []byte) {}
+
 // fadviseDontneed is a no-op off linux; the page cache is unmodified.
 func fadviseDontneed(path string, off, n int64) {}

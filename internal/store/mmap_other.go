@@ -33,4 +33,6 @@ func (m mapping) dropRange(lo, hi int64) {}
 
 func (m mapping) adviseRandom(lo, hi int64) {}
 
+func (m mapping) willneedRange(lo, hi int64) {}
+
 func fadviseDontneed(path string, off, n int64) {}

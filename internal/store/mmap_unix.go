@@ -51,6 +51,22 @@ func (m mapping) adviseRandom(lo, hi int64) {
 	madviseRandom(m.bytes[start:end])
 }
 
+// willneedRange queues asynchronous read-ahead for the pages covering
+// bytes[lo:hi] (page-aligned outward, so short ranges still cover their
+// row). Best-effort; no-op off linux.
+func (m mapping) willneedRange(lo, hi int64) {
+	page := int64(os.Getpagesize())
+	start := lo / page * page
+	end := (hi + page - 1) / page * page
+	if end > int64(len(m.bytes)) {
+		end = int64(len(m.bytes))
+	}
+	if end <= start {
+		return
+	}
+	madviseWillneed(m.bytes[start:end])
+}
+
 // pageInterior shrinks [lo, hi) to its page-aligned interior.
 func pageInterior(lo, hi int64) (int64, int64) {
 	page := int64(os.Getpagesize())

@@ -2,12 +2,26 @@ package store
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/linalg"
 )
+
+// prefixAux is the per-row side record of the early-abandon pass, packed
+// to 12 bytes so the prefix sweep streams P+12 bytes per row. The code
+// sums are exact: csumP ≤ P·65535 and csumSuf ≤ (quantDims−P)·65535 both
+// fit uint32 with room to spare. snormP is the one lossy field — it is
+// rounded toward zero at build time (never up), so the lower bound it
+// enters can only loosen; admissibility never depends on float32 having
+// enough precision.
+type prefixAux struct {
+	snormP         float32
+	csumP, csumSuf uint32
+}
 
 // Store is an opened, mmap-backed quantized vector store. All search
 // methods are safe for concurrent use; Close waits for in-flight searches
@@ -21,12 +35,46 @@ type Store struct {
 	mins, steps []float64 // storage order
 
 	codes []byte
-	f32   []float32
-	snorm []float64
-	exact []float64
+	// codes16 is the uint16 view over the same code region (Int16 stores
+	// only); rows start at multiples of codeStride/2 elements.
+	codes16 []uint16
+	f32     []float32
+	snorm   []float64
+	exact   []float64
 	// exactMat is a zero-copy Dense view over the exact region; reading it
 	// pages the float64 rows in on demand.
 	exactMat *linalg.Dense
+
+	// Scan-side caches built once by Open and read-only afterwards.
+	//
+	// scanAux interleaves, per row, the two scalars the integer-dot scan
+	// needs next to each other on one cache line: {snorm[i], csum[i]} at
+	// [2i, 2i+1], where csum[i] = Σⱼ cⱼ is the row's code sum — the exact
+	// correction term that turns the integer dot Σu·c back into Σt̃·c
+	// (see plan.quantizeQ15). Code sums are ≤ 65535·d, exact in float64.
+	scanAux []float64
+
+	// The early-abandon prefix: the first prefDims quantized storage
+	// dimensions (0 disables the pass). pref8/pref16 hold a contiguous
+	// copy of those leading codes — stride prefDims, no padding — so the
+	// prefix pass streams ~P bytes per row instead of faulting the full
+	// codeStride row. prefAux holds one packed 12-byte record per row
+	// (see prefixAux) with the prefix parts of snorm and csum plus the
+	// suffix code sum csum−csumP that scales the admissible slack
+	// (prefix lower bound = prefix estimate − tstep·csumSuf, see
+	// scanBlockPrefix).
+	prefDims int
+	pref8    []uint8
+	pref16   []uint16
+	prefAux  []prefixAux
+	// snormMean scales the floating-point safety margin subtracted from
+	// prefix lower bounds.
+	snormMean float64
+
+	// planPool and scratchPool recycle per-query plans and per-segment
+	// block buffers so the serving hot path does not allocate.
+	planPool    sync.Pool
+	scratchPool sync.Pool
 
 	// mu guards the mapping's lifetime: searches hold the read lock, Close
 	// takes the write lock, so the pages can never vanish under a scan.
@@ -37,6 +85,13 @@ type Store struct {
 	// exactly rescored in phase 2 since Open.
 	scanned  atomic.Uint64
 	rescored atomic.Uint64
+
+	// exactCold is set by DropExactPages and makes every later rescore
+	// queue read-ahead for its candidate rows before touching them (cold
+	// rows otherwise fault serially under MADV_RANDOM). Never cleared:
+	// once residency is being managed externally, the hint stays cheap
+	// relative to the faults it hides.
+	exactCold atomic.Bool
 }
 
 // Open maps a store file written by Writer/Write.
@@ -84,11 +139,125 @@ func Open(path string) (*Store, error) {
 	if l.fullDims > 0 {
 		s.f32 = castF32(b[l.f32Off : l.f32Off+4*int64(l.n)*int64(l.fullDims)])
 	}
+	if l.prec == Int16 {
+		s.codes16 = castU16(s.codes)
+	}
 	s.exactMat = linalg.NewDenseData(l.n, l.d, s.exact)
+	s.buildScanCaches()
 	// Phase-2 rescores fault scattered exact rows; without this hint the
 	// kernel's readahead window repopulates the whole region.
 	mm.adviseRandom(l.exactOff, l.fileSize)
 	return s, nil
+}
+
+// prefixDims picks the early-abandon prefix width — a multiple of the
+// kernels' 16-code step, wide enough that a variance-descending
+// permutation concentrates most of the signal in it, and 0 (disabled)
+// when the store is too narrow for a prefix to be a meaningful subset.
+// On the musk-like distribution the leading 32/64 quantized dimensions
+// carry ~66%/91% of the variance; at 1M points the wider prefix cuts
+// tight-bound survivors from ~16% to under 1%, which more than pays for
+// streaming the wider plane.
+func prefixDims(quantDims int) int {
+	switch {
+	case quantDims < 64:
+		return 0
+	case quantDims < 128:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// adviseHuge marks a freshly allocated scan cache as a transparent
+// huge-page candidate. The caches are streamed front to back on every
+// query; on 4 kB pages the million-row sweep takes a dTLB walk every few
+// dozen rows, which 2 MB pages mostly remove. Best-effort and purely
+// advisory — correctness never depends on it.
+func adviseHuge[T any](s []T) {
+	if len(s) == 0 {
+		return
+	}
+	madviseHugepage(unsafe.Slice((*byte)(unsafe.Pointer(&s[0])),
+		len(s)*int(unsafe.Sizeof(s[0]))))
+}
+
+// buildScanCaches derives the integer-scan side tables from the mapped
+// regions in one sequential pass over the code rows: per-row code sums
+// (the exact correction term of the quantized-query dot), and — when the
+// store is wide enough — the contiguous early-abandon prefix plane with
+// its per-row prefix norms and code sums. Runs once at Open; everything
+// it writes is immutable afterwards.
+func (s *Store) buildScanCaches() {
+	n, Q := s.l.n, s.l.quantDims
+	F := s.l.fullDims
+	s.scanAux = make([]float64, 2*n)
+	adviseHuge(s.scanAux)
+	P := prefixDims(Q)
+	s.prefDims = P
+	if P > 0 {
+		s.prefAux = make([]prefixAux, n)
+		adviseHuge(s.prefAux)
+		if s.l.prec == Int8 {
+			s.pref8 = make([]uint8, n*P)
+			adviseHuge(s.pref8)
+		} else {
+			s.pref16 = make([]uint16, n*P)
+			adviseHuge(s.pref16)
+		}
+	}
+	// Quantization steps of the prefix dimensions, in storage order.
+	psteps := s.steps[F : F+P]
+	var snormSum float64
+	for i := 0; i < n; i++ {
+		var csum, csumP, snormP float64
+		if s.l.prec == Int8 {
+			row := s.codes[i*s.l.codeStride : i*s.l.codeStride+Q]
+			for _, c := range row {
+				csum += float64(c)
+			}
+			for j := 0; j < P; j++ {
+				c := float64(row[j])
+				csumP += c
+				sc := psteps[j] * c
+				snormP += sc * sc
+			}
+			if P > 0 {
+				copy(s.pref8[i*P:(i+1)*P], row[:P])
+			}
+		} else {
+			row := s.codes16[i*s.l.codeStride/2 : i*s.l.codeStride/2+Q]
+			for _, c := range row {
+				csum += float64(c)
+			}
+			for j := 0; j < P; j++ {
+				c := float64(row[j])
+				csumP += c
+				sc := psteps[j] * c
+				snormP += sc * sc
+			}
+			if P > 0 {
+				copy(s.pref16[i*P:(i+1)*P], row[:P])
+			}
+		}
+		s.scanAux[2*i] = s.snorm[i]
+		s.scanAux[2*i+1] = csum
+		snormSum += s.snorm[i]
+		if P > 0 {
+			sn := float32(snormP)
+			if float64(sn) > snormP {
+				sn = math.Nextafter32(sn, 0)
+			}
+			s.prefAux[i] = prefixAux{
+				snormP:  sn,
+				csumP:   uint32(csumP),
+				csumSuf: uint32(csum - csumP),
+			}
+		}
+	}
+	if n > 0 {
+		s.snormMean = snormSum / float64(n)
+	}
 }
 
 // Close unmaps the store after in-flight searches drain. Safe to call twice.
@@ -121,12 +290,23 @@ func (s *Store) BlockRows() int { return s.l.blockRows }
 func (s *Store) Path() string { return s.path }
 
 // BytesPerVectorScan returns the bytes per point that a phase-1 scan keeps
-// resident: the padded code row, the cached quantized norm, and the float32
-// prefix. The float64 alternative is 8·d; their ratio is the store's
-// resident-memory win.
+// resident: the padded code row, the cached {norm, code-sum} pair, the
+// float32 prefix, and — when the early-abandon pass is enabled — the
+// prefix code plane with its packed 12-byte aux record. The float64
+// alternative is 8·d; their ratio is the store's resident-memory win.
+// (An abandoning scan touches far fewer bytes than this on most rows;
+// this is the resident footprint, not the traffic.)
 func (s *Store) BytesPerVectorScan() int {
-	return s.l.codeStride + 8 + 4*s.l.fullDims
+	b := s.l.codeStride + 16 + 4*s.l.fullDims
+	if s.prefDims > 0 {
+		b += s.prefDims*int(s.l.prec) + 12
+	}
+	return b
 }
+
+// PrefixDims returns the width of the early-abandon prefix (0 when the
+// pass is disabled for this store's shape).
+func (s *Store) PrefixDims() int { return s.prefDims }
 
 // ExactMatrix returns a zero-copy Dense view over the full-precision
 // region (row-major, original dimension order). Reading it faults pages in

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/knn"
+)
+
+// naiveSearchRange is the scalar reference for the blocked scan: the
+// pre-optimization per-point loop — every point offered straight to the
+// collector, no threshold pruning, no prefix early-abandon, no ×4
+// kernels, sequential — followed by the same exact rescore. The blocked,
+// threshold-pruned, prefix-abandoning, possibly parallel production scan
+// must reproduce it bit for bit at every budget.
+func naiveSearchRange(s *Store, q []float64, lo, hi, k, rescore int) []knn.Neighbor {
+	budget := rescore
+	if budget < k {
+		budget = k
+	}
+	if budget > hi-lo {
+		budget = hi - lo
+	}
+	p := s.getPlan(q)
+	defer s.putPlan(p)
+	c := knn.NewCollector(budget)
+	for i := lo; i < hi; i++ {
+		c.Offer(i, s.scoreAt(p, i))
+	}
+	cand := c.Results()
+	e := knn.Euclidean{}
+	for t := range cand {
+		cand[t].Dist = e.Distance(s.exactMat.RawRow(cand[t].Index), q)
+	}
+	knn.SortNeighbors(cand)
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand
+}
+
+// TestBlockedScanBitIdenticalToNaive is the property test of the scan
+// rewrite: across the store variant matrix (which covers prefix-enabled
+// shapes — quantDims ≥ 64 — and prefix-disabled ones), every budget in
+// {k, 2k, n} and worker count in {1, 2, 3} must return exactly the
+// neighbors of the naive per-point loop, distances bit-identical. d = 64
+// keeps the early-abandon prefix active for the no-full-prefix variants.
+func TestBlockedScanBitIdenticalToNaive(t *testing.T) {
+	n, d, k := 3000, 64, 10
+	data, queries := testData(t, n, 6, d, 41)
+	for name, cfg := range storeVariants(d) {
+		s := buildStore(t, data, cfg)
+		for qi := 0; qi < queries.Rows(); qi++ {
+			q := queries.RawRow(qi)
+			for _, budget := range []int{k, 2 * k, n} {
+				want := naiveSearchRange(s, q, 0, n, k, budget)
+				for _, workers := range []int{1, 2, 3} {
+					got, rescored := s.SearchRangeWorkers(q, 0, n, k, budget, workers)
+					if rescored != budget {
+						t.Fatalf("%s q=%d budget=%d w=%d: rescored %d candidates, want %d",
+							name, qi, budget, workers, rescored, budget)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s q=%d budget=%d w=%d: %d neighbors, want %d",
+							name, qi, budget, workers, len(got), len(want))
+					}
+					for r := range got {
+						if got[r].Index != want[r].Index ||
+							math.Float64bits(got[r].Dist) != math.Float64bits(want[r].Dist) {
+							t.Fatalf("%s q=%d budget=%d w=%d rank %d: got (%d, %x), want (%d, %x)",
+								name, qi, budget, workers, r,
+								got[r].Index, math.Float64bits(got[r].Dist),
+								want[r].Index, math.Float64bits(want[r].Dist))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVariantMatrixCoversPrefixStates guards the property test's reach:
+// the variant matrix must include at least one store where the
+// early-abandon prefix is active and one where it is disabled, or the
+// test above silently loses half its subject.
+func TestVariantMatrixCoversPrefixStates(t *testing.T) {
+	d := 64
+	data, _ := testData(t, 200, 1, d, 43)
+	withPrefix, withoutPrefix := 0, 0
+	for _, cfg := range storeVariants(d) {
+		s := buildStore(t, data, cfg)
+		if s.PrefixDims() > 0 {
+			withPrefix++
+		} else {
+			withoutPrefix++
+		}
+	}
+	if withPrefix == 0 || withoutPrefix == 0 {
+		t.Fatalf("variant matrix covers prefix=%d no-prefix=%d stores; need both", withPrefix, withoutPrefix)
+	}
+}
+
+// TestSearchRangeWorkersClampsAndMerges exercises the worker clamp (a
+// range shorter than minSegmentRows·2 must degrade to one segment) and
+// unaligned worker counts against odd ranges.
+func TestSearchRangeWorkersClampsAndMerges(t *testing.T) {
+	n, d, k := 2600, 32, 5
+	data, queries := testData(t, n, 4, d, 47)
+	s := buildStore(t, data, BuildConfig{Precision: Int8})
+	q := queries.RawRow(0)
+	want := naiveSearchRange(s, q, 100, n-100, k, 3*k)
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		got, _ := s.SearchRangeWorkers(q, 100, n-100, k, 3*k, workers)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("workers=%d rank %d: got %+v, want %+v", workers, r, got[r], want[r])
+			}
+		}
+	}
+}
+
+// TestVarianceOrderIsPermutation pins VarianceOrder's contract: a valid
+// permutation, sorted by descending variance with deterministic ties.
+func TestVarianceOrderIsPermutation(t *testing.T) {
+	d := 9
+	acc := NewScaleAccumulator(d)
+	rng := rand.New(rand.NewSource(51))
+	// Dimension j gets standard deviation ~ j for even j, 0 for odd j
+	// (constant dims), so the expected order is 8, 6, 4, 2, then the
+	// zero-variance dims in index order.
+	for i := 0; i < 500; i++ {
+		row := make([]float64, d)
+		for j := 0; j < d; j += 2 {
+			row[j] = float64(j) * rng.NormFloat64()
+		}
+		for j := 1; j < d; j += 2 {
+			row[j] = 7
+		}
+		acc.Add(row)
+	}
+	perm := acc.VarianceOrder()
+	seen := make([]bool, d)
+	for _, j := range perm {
+		if j < 0 || j >= d || seen[j] {
+			t.Fatalf("VarianceOrder %v is not a permutation of [0,%d)", perm, d)
+		}
+		seen[j] = true
+	}
+	wantHead := []int{8, 6, 4, 2}
+	for i, w := range wantHead {
+		if perm[i] != w {
+			t.Fatalf("VarianceOrder head %v, want %v first", perm[:4], wantHead)
+		}
+	}
+	// Zero-variance dims keep ascending index order (stable ties).
+	tail := perm[5:]
+	for i := 1; i < len(tail); i++ {
+		if tail[i-1] >= tail[i] {
+			t.Fatalf("VarianceOrder tie-break not ascending: %v", perm)
+		}
+	}
+}
+
+// TestBuildWithVarianceOrderStaysExact builds a store under the
+// variance-descending permutation and checks the full-budget path is
+// still bit-identical to exact search — permutations reorder storage,
+// never results — and that the prefix pass engages.
+func TestBuildWithVarianceOrderStaysExact(t *testing.T) {
+	n, d, k := 1500, 64, 8
+	data, queries := testData(t, n, 6, d, 53)
+	acc := NewScaleAccumulator(d)
+	for i := 0; i < n; i++ {
+		acc.Add(data.RawRow(i))
+	}
+	s := buildStore(t, data, BuildConfig{Precision: Int8, Perm: acc.VarianceOrder()})
+	if s.PrefixDims() == 0 {
+		t.Fatal("expected the early-abandon prefix to be enabled at d=64")
+	}
+	want := knn.SearchSetBatch(data, queries, k, knn.Euclidean{}, false)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		got := s.Search(queries.RawRow(qi), k, n)
+		for r := range got {
+			if got[r].Index != want[qi][r].Index ||
+				math.Float64bits(got[r].Dist) != math.Float64bits(want[qi][r].Dist) {
+				t.Fatalf("query %d rank %d: got (%d, %x), want (%d, %x)", qi, r,
+					got[r].Index, math.Float64bits(got[r].Dist),
+					want[qi][r].Index, math.Float64bits(want[qi][r].Dist))
+			}
+		}
+	}
+}
+
+// TestStressSearchBatchDropExactPages interleaves SearchRange (with and
+// without intra-query workers), SearchBatch, and DropExactPages on one
+// shared store — DropExactPages was previously only exercised
+// sequentially. Under -race this is the concurrency contract of the scan
+// caches and the madvise path: dropped exact pages must refault
+// transparently mid-rescore, never corrupt results.
+func TestStressSearchBatchDropExactPages(t *testing.T) {
+	n, d, k := 2500, 64, 5
+	data, queries := testData(t, n, 8, d, 59)
+	s := buildStore(t, data, BuildConfig{Precision: Int8})
+	want := knn.SearchSetBatch(data, queries, k, knn.Euclidean{}, false)
+
+	const iters = 15
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	// Two SearchRange loops at different worker counts.
+	for w := 1; w <= 2; w++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for qi := 0; qi < queries.Rows(); qi++ {
+					got, _ := s.SearchRangeWorkers(queries.RawRow(qi), 0, n, k, n, workers)
+					for r := range got {
+						if got[r] != want[qi][r] {
+							errs <- "SearchRangeWorkers diverged from exact under concurrency"
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	// A SearchBatch loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for it := 0; it < iters; it++ {
+			out := s.SearchBatch(queries, k, n)
+			for qi := range out {
+				for r := range out[qi] {
+					if out[qi][r] != want[qi][r] {
+						errs <- "SearchBatch diverged from exact under concurrency"
+						return
+					}
+				}
+			}
+		}
+	}()
+	// A DropExactPages loop, yanking the rescore region's residency the
+	// whole time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for it := 0; it < 4*iters; it++ {
+			s.DropExactPages()
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

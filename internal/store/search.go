@@ -9,44 +9,146 @@ import (
 	"repro/internal/linalg"
 )
 
+// scanBlockRows is the granularity of the threshold-pruned sweep: the ×4
+// integer kernels score this many rows into a flat buffer, then a branchy
+// pass offers only entries below the collector's current bound. 256 rows
+// keep the score buffer well inside L1 while amortizing the bound reloads.
+const scanBlockRows = 256
+
+// minSegmentRows is the smallest per-worker slice of an intra-query
+// parallel scan; ranges shorter than workers·minSegmentRows clamp the
+// worker count so goroutine fan-out never outweighs the scan itself
+// (a 1024-row segment is ~15 µs of kernel work against ~1 µs of
+// goroutine bookkeeping).
+const minSegmentRows = 1024
+
 // plan holds the per-query precomputed scan terms of the asymmetric
 // decomposition: with aⱼ = q_{perm[j]} − minⱼ over the quantized storage
-// dimensions, phase 1 evaluates a2 + snorm[i] − 2·⟨t, codes_i⟩ plus the
-// float32-prefix partial distance — one mixed-precision dot per point.
+// dimensions, phase 1 evaluates a2 + snorm[i] − 2·Σⱼ t̃ⱼcⱼ plus the
+// float32-prefix partial distance. The weights tⱼ = aⱼ·stepⱼ are further
+// quantized to 15-bit codes u (t̃ⱼ = tmin + tstep·uⱼ), so the per-point
+// work is the exact integer dot Σ uⱼcⱼ and the scan reconstructs
+//
+//	Σ t̃ⱼcⱼ = tmin·csum[i] + tstep·(Σ uⱼcⱼ)
+//
+// from the per-row code sum cached at Open. Query-side rounding replaces
+// each tⱼ by t̃ⱼ within tstep/2 ≈ (max t − min t)/65534 — it perturbs
+// which candidates phase 1 admits by a hair, and phase 2's exact rescore
+// is what fixes the reported distances, so results stay exact whenever
+// the budget admits the true neighbors (and bit-identical to exact search
+// at full budget, where admission order cannot matter).
 type plan struct {
 	t  []float64 // aⱼ·stepⱼ over quantized dims
 	a2 float64   // Σ aⱼ²
 	qf []float64 // storage-order query over the float32 prefix dims
+
+	u      []uint16 // Q15 codes of t: uⱼ = round((tⱼ−tmin)/tstep)
+	tmin   float64
+	tstep  float64
+	a2P    float64 // Σ aⱼ² over the early-abandon prefix dims
+	margin float64 // FP slack subtracted from prefix lower bounds
 }
 
-func (s *Store) newPlan(q []float64) plan {
+// scanScratch is the per-segment block buffer, pooled so steady-state
+// searches do not allocate.
+type scanScratch struct {
+	scores []float64
+}
+
+func (s *Store) getPlan(q []float64) *plan {
+	p, _ := s.planPool.Get().(*plan)
+	if p == nil {
+		p = &plan{}
+	}
+	Q := s.l.quantDims
 	F := s.l.fullDims
-	p := plan{t: make([]float64, s.l.quantDims)}
-	if F > 0 {
+	if cap(p.t) < Q {
+		p.t = make([]float64, Q)
+		p.u = make([]uint16, Q)
+	}
+	p.t = p.t[:Q]
+	p.u = p.u[:Q]
+	if cap(p.qf) < F {
 		p.qf = make([]float64, F)
-		for j := 0; j < F; j++ {
-			p.qf[j] = q[s.perm[j]]
-		}
+	}
+	p.qf = p.qf[:F]
+	p.a2 = 0
+	for j := 0; j < F; j++ {
+		p.qf[j] = q[s.perm[j]]
 	}
 	for j := F; j < s.l.d; j++ {
 		a := q[s.perm[j]] - s.mins[j]
 		p.t[j-F] = a * s.steps[j]
 		p.a2 += a * a
 	}
+	p.a2P = 0
+	for j := F; j < F+s.prefDims; j++ {
+		a := q[s.perm[j]] - s.mins[j]
+		p.a2P += a * a
+	}
+	p.quantizeQ15()
+	// The prefix lower bound and the full estimate round differently on
+	// the way to their float64 values; this margin dwarfs that rounding
+	// (it is ~10⁶ ulps at the distance scale a2+snorm sets) while staying
+	// ~10⁻⁹ relative — far below any distance gap that could flip a
+	// pruning decision the exact arithmetic would not.
+	p.margin = 1e-9 * (p.a2 + s.snormMean + 1)
 	return p
 }
 
-// approxAt returns the phase-1 squared-distance estimate for point i,
-// clamped at zero.
-func (s *Store) approxAt(p *plan, i int) float64 {
-	row := s.codes[i*s.l.codeStride:]
-	var dot float64
-	if s.l.prec == Int8 {
-		dot = linalg.DotU8(p.t, row[:s.l.quantDims])
-	} else {
-		dot = linalg.DotU16(p.t, castU16(row[:2*s.l.quantDims]))
+func (s *Store) putPlan(p *plan) { s.planPool.Put(p) }
+
+// quantizeQ15 maps the scan weights t affinely onto [0, MaxQ15]. A zero
+// span (constant t, including the empty case) degenerates to tstep = 0
+// with all-zero codes, which reconstructs t̃ⱼ = tmin exactly.
+func (p *plan) quantizeQ15() {
+	if len(p.t) == 0 {
+		p.tmin, p.tstep = 0, 0
+		return
 	}
-	d2 := p.a2 + s.snorm[i] - 2*dot
+	tmin, tmax := p.t[0], p.t[0]
+	for _, v := range p.t[1:] {
+		if v < tmin {
+			tmin = v
+		}
+		if v > tmax {
+			tmax = v
+		}
+	}
+	p.tmin = tmin
+	span := tmax - tmin
+	if !(span > 0) {
+		p.tstep = 0
+		for j := range p.u {
+			p.u[j] = 0
+		}
+		return
+	}
+	p.tstep = span / linalg.MaxQ15
+	inv := linalg.MaxQ15 / span
+	for j, v := range p.t {
+		u := int((v - tmin) * inv)
+		// Round-to-nearest with an explicit clamp: FP rounding may land
+		// a hair outside [0, MaxQ15].
+		if f := (v - tmin) * inv; f-float64(u) >= 0.5 {
+			u++
+		}
+		if u < 0 {
+			u = 0
+		} else if u > linalg.MaxQ15 {
+			u = linalg.MaxQ15
+		}
+		p.u[j] = uint16(u)
+	}
+}
+
+// combine folds an exact integer dot into the phase-1 squared-distance
+// estimate for point i, clamped at zero. Every scan path — blocked ×4,
+// prefix survivors, the scalar reference — funnels through this one
+// expression, so they produce bit-identical floats for the same point
+// (the integer dots themselves are exact and path-independent).
+func (s *Store) combine(p *plan, i int, idot int64) float64 {
+	d2 := p.a2 + s.scanAux[2*i] - 2*(p.tmin*s.scanAux[2*i+1]+p.tstep*float64(idot))
 	if F := s.l.fullDims; F > 0 {
 		frow := s.f32[i*F : (i+1)*F]
 		for j, qv := range p.qf {
@@ -58,6 +160,208 @@ func (s *Store) approxAt(p *plan, i int) float64 {
 		d2 = 0
 	}
 	return d2
+}
+
+// rowDotQ is the unitary integer dot of the plan's query codes against
+// code row i.
+func (s *Store) rowDotQ(p *plan, i int) int64 {
+	if s.l.prec == Int8 {
+		row := s.codes[i*s.l.codeStride:]
+		return linalg.DotQ15U8(p.u, row[:s.l.quantDims])
+	}
+	row := s.codes16[i*s.l.codeStride/2:]
+	return linalg.DotQ15U16(p.u, row[:s.l.quantDims])
+}
+
+// scoreAt returns the phase-1 estimate for point i. It is the scalar
+// reference the blocked paths must match bit for bit.
+func (s *Store) scoreAt(p *plan, i int) float64 {
+	return s.combine(p, i, s.rowDotQ(p, i))
+}
+
+func (s *Store) getScratch() *scanScratch {
+	sc, _ := s.scratchPool.Get().(*scanScratch)
+	if sc == nil {
+		sc = &scanScratch{scores: make([]float64, scanBlockRows)}
+	}
+	return sc
+}
+
+// scanBlockFull scores rows [base, end) with the ×4 kernels into the flat
+// scratch buffer, then offers only entries below the collector's bound.
+// Offer admits exactly the candidates with dist < Bound(), so the
+// pre-filter changes nothing about the admitted set — it only keeps the
+// heap branch out of the kernel loop.
+func (s *Store) scanBlockFull(p *plan, sc *scanScratch, base, end int, c *knn.Collector) {
+	scores := sc.scores[:end-base]
+	var dots [4]int64
+	i := base
+	if s.l.prec == Int8 {
+		stride := s.l.codeStride
+		var dots8 [8]int64
+		for ; i+8 <= end; i += 8 {
+			linalg.DotQ15U8x8(p.u, s.codes[i*stride:], stride, &dots8)
+			for r := 0; r < 8; r++ {
+				scores[i-base+r] = s.combine(p, i+r, dots8[r])
+			}
+		}
+		for ; i+4 <= end; i += 4 {
+			linalg.DotQ15U8x4(p.u, s.codes[i*stride:], stride, &dots)
+			scores[i-base] = s.combine(p, i, dots[0])
+			scores[i-base+1] = s.combine(p, i+1, dots[1])
+			scores[i-base+2] = s.combine(p, i+2, dots[2])
+			scores[i-base+3] = s.combine(p, i+3, dots[3])
+		}
+	} else {
+		stride := s.l.codeStride / 2
+		for ; i+4 <= end; i += 4 {
+			linalg.DotQ15U16x4(p.u, s.codes16[i*stride:], stride, &dots)
+			scores[i-base] = s.combine(p, i, dots[0])
+			scores[i-base+1] = s.combine(p, i+1, dots[1])
+			scores[i-base+2] = s.combine(p, i+2, dots[2])
+			scores[i-base+3] = s.combine(p, i+3, dots[3])
+		}
+	}
+	for ; i < end; i++ {
+		scores[i-base] = s.scoreAt(p, i)
+	}
+	bound := c.Bound()
+	for j, v := range scores {
+		if v < bound {
+			c.Offer(base+j, v)
+			bound = c.Bound()
+		}
+	}
+}
+
+// scanBlockPrefix is the early-abandon variant used once the collector is
+// full: it scores only the variance-leading prefix plane (a contiguous
+// prefDims-wide copy of the leading quantized codes) and computes, per
+// row, the admissible lower bound
+//
+//	lb(i) = prefixEst(i) − tstep·csumSuf[i] − margin
+//
+// on the full estimate. Writing the suffix terms as Σ (aⱼ−stepⱼcⱼ)² −
+// 2eⱼcⱼ with eⱼ = t̃ⱼ−tⱼ the query-rounding error (|eⱼ| ≤ tstep/2) shows
+// fullEst − prefixEst ≥ −tstep·Σ_suffix cⱼ, so any row with lb(i) ≥
+// Bound() would have been rejected by Offer anyway and is skipped without
+// touching its full code row; survivors get the exact full estimate and
+// the same admission test as the full pass. Bound() only shrinks during a
+// scan, so using a momentarily stale bound never prunes a row the naive
+// loop would admit — blocked+prefix stays bit-identical to the scalar
+// reference at every budget.
+func (s *Store) scanBlockPrefix(p *plan, sc *scanScratch, base, end int, c *knn.Collector) (survivors int) {
+	P := s.prefDims
+	uP := p.u[:P]
+	lbs := sc.scores[:end-base]
+	var dots [4]int64
+	i := base
+	if s.l.prec == Int8 {
+		var dots8 [8]int64
+		for ; i+8 <= end; i += 8 {
+			linalg.DotQ15U8x8(uP, s.pref8[i*P:], P, &dots8)
+			for r := 0; r < 8; r++ {
+				lbs[i-base+r] = s.prefixLB(p, i+r, dots8[r])
+			}
+		}
+		for ; i+4 <= end; i += 4 {
+			linalg.DotQ15U8x4(uP, s.pref8[i*P:], P, &dots)
+			for r := 0; r < 4; r++ {
+				lbs[i-base+r] = s.prefixLB(p, i+r, dots[r])
+			}
+		}
+		for ; i < end; i++ {
+			lbs[i-base] = s.prefixLB(p, i, linalg.DotQ15U8(uP, s.pref8[i*P:(i+1)*P]))
+		}
+	} else {
+		for ; i+4 <= end; i += 4 {
+			linalg.DotQ15U16x4(uP, s.pref16[i*P:], P, &dots)
+			for r := 0; r < 4; r++ {
+				lbs[i-base+r] = s.prefixLB(p, i+r, dots[r])
+			}
+		}
+		for ; i < end; i++ {
+			lbs[i-base] = s.prefixLB(p, i, linalg.DotQ15U16(uP, s.pref16[i*P:(i+1)*P]))
+		}
+	}
+	bound := c.Bound()
+	for j, lb := range lbs {
+		if lb < bound {
+			survivors++
+			v := s.scoreAt(p, base+j)
+			if v < bound {
+				c.Offer(base+j, v)
+				bound = c.Bound()
+			}
+		}
+	}
+	return survivors
+}
+
+// prefixLB folds a prefix-plane integer dot into the lower bound tested
+// against the collector's admission threshold. The aux code sums are
+// exact integers; snormP is stored rounded toward zero, which can only
+// lower the bound — both keep it admissible.
+func (s *Store) prefixLB(p *plan, i int, idot int64) float64 {
+	aux := &s.prefAux[i]
+	est := p.a2P + float64(aux.snormP) - 2*(p.tmin*float64(aux.csumP)+p.tstep*float64(idot))
+	return est - p.tstep*float64(aux.csumSuf) - p.margin
+}
+
+// prefixHoldoffBlocks is how many blocks the sweep runs in full mode
+// after a prefix block fails the payoff test before probing the prefix
+// again (the admission bound tightens as the scan advances, so pruning
+// that was unprofitable early can become profitable later).
+const prefixHoldoffBlocks = 16
+
+// warmupBlocks is how many leading blocks of a segment run in full mode
+// even once the collector fills. The admission bound after seeing only
+// budget rows is far looser than the final one, so an immediate switch
+// to the prefix pass pays full price (prefix dot + survivor dot) on the
+// many rows that loose bound cannot prune; a short warmup at 256 rows
+// per block tightens the bound at ~33 ns/row before pruning starts.
+// Pure scheduling — admitted candidates are unchanged (see scanSegment).
+// At the 1M-point benchmark, 32 blocks cut the whole-scan survivor rate
+// about 4× over switching as soon as the collector fills.
+const warmupBlocks = 32
+
+// scanSegment runs the blocked phase-1 sweep over [lo, hi). Once the
+// collector is full it tries the prefix early-abandon pass, but keeps it
+// honest with a payoff probe: a prefix block whose survivor fraction
+// exceeds ~3/8 costs more (prefix dot + full unitary dot per survivor)
+// than the straight ×4 full pass, so such blocks push the sweep back to
+// full mode for prefixHoldoffBlocks before re-probing. The two block
+// kinds admit identical candidates, so this scheduling is invisible in
+// the results — it is purely a bandwidth/ALU trade.
+func (s *Store) scanSegment(p *plan, lo, hi int, c *knn.Collector) {
+	sc := s.getScratch()
+	usePrefix := s.prefDims > 0
+	holdoff := 0
+	// Cap the warmup at an eighth of the segment so short segments — small
+	// stores, or a large one split across many workers — still spend most
+	// of their sweep in the cheaper prefix mode.
+	warmRows := warmupBlocks * scanBlockRows
+	if limit := (hi - lo) / 8; warmRows > limit {
+		warmRows = limit
+	}
+	warm := lo + warmRows
+	for base := lo; base < hi; base += scanBlockRows {
+		end := base + scanBlockRows
+		if end > hi {
+			end = hi
+		}
+		if usePrefix && holdoff == 0 && base >= warm && c.Full() {
+			if surv := s.scanBlockPrefix(p, sc, base, end, c); 8*surv > 3*(end-base) {
+				holdoff = prefixHoldoffBlocks
+			}
+		} else {
+			s.scanBlockFull(p, sc, base, end, c)
+			if holdoff > 0 {
+				holdoff--
+			}
+		}
+	}
+	s.scratchPool.Put(sc)
 }
 
 // Search returns the k nearest neighbors of q by two-phase search over the
@@ -75,6 +379,18 @@ func (s *Store) Search(q []float64, k, rescore int) []knn.Neighbor {
 // — the shard entry point of the serving layer. Returned indices are
 // global. The second result is the number of candidates phase 2 rescored.
 func (s *Store) SearchRange(q []float64, lo, hi, k, rescore int) ([]knn.Neighbor, int) {
+	return s.SearchRangeWorkers(q, lo, hi, k, rescore, 1)
+}
+
+// SearchRangeWorkers is SearchRange with the phase-1 sweep split across
+// up to workers parallel segments (workers ≤ 1 scans sequentially). Each
+// segment fills its own full-budget collector; the merged candidate set,
+// truncated under the canonical (dist, index) order, equals the
+// sequential scan's set exactly — a point survives iff fewer than budget
+// points precede it in that total order, regardless of segmentation — so
+// results are bit-identical for every worker count. Worker counts beyond
+// what minSegmentRows-sized slices of [lo, hi) can occupy are clamped.
+func (s *Store) SearchRangeWorkers(q []float64, lo, hi, k, rescore, workers int) ([]knn.Neighbor, int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -96,29 +412,89 @@ func (s *Store) SearchRange(q []float64, lo, hi, k, rescore int) ([]knn.Neighbor
 	if budget > hi-lo {
 		budget = hi - lo
 	}
-
-	p := s.newPlan(q)
-	c := knn.NewCollector(budget)
-	for i := lo; i < hi; i++ {
-		c.Offer(i, s.approxAt(&p, i))
+	if maxW := (hi - lo + minSegmentRows - 1) / minSegmentRows; workers > maxW {
+		workers = maxW
 	}
+	if procs := runtime.GOMAXPROCS(0); workers > procs {
+		workers = procs
+	}
+
+	p := s.getPlan(q)
+	var cand []knn.Neighbor
+	if workers <= 1 {
+		c := knn.NewCollector(budget)
+		s.scanSegment(p, lo, hi, c)
+		cand = c.Results()
+	} else {
+		cand = s.scanParallel(p, lo, hi, budget, workers)
+	}
+	s.putPlan(p)
 	s.scanned.Add(uint64(hi - lo))
 
-	cand := c.Results()
+	// After a DropExactPages, phase-2 rows fault back in from disk; with
+	// the exact region mapped MADV_RANDOM each fault is a blocking disk
+	// round-trip, so a cold query pays ~budget serial I/Os. Queue all
+	// candidate rows as asynchronous read-ahead first — a few µs of
+	// syscalls per query — so the faults below overlap. Skipped entirely
+	// until the first drop: resident stores pay nothing.
+	if s.exactCold.Load() {
+		rowBytes := 8 * int64(s.l.d)
+		for t := range cand {
+			off := s.l.exactOff + int64(cand[t].Index)*rowBytes
+			s.mm.willneedRange(off, off+rowBytes)
+		}
+	}
+
 	e := knn.Euclidean{}
 	for t := range cand {
 		cand[t].Dist = e.Distance(s.exactMat.RawRow(cand[t].Index), q)
 	}
-	s.rescored.Add(uint64(len(cand)))
+	rescored := len(cand)
+	s.rescored.Add(uint64(rescored))
 	knn.SortNeighbors(cand)
 	if len(cand) > k {
 		cand = cand[:k]
 	}
-	return cand, budget
+	return cand, rescored
+}
+
+// scanParallel fans the sweep out over worker segments with per-segment
+// collectors and merges under the canonical order. The segment collectors
+// each carry the full budget: a merged-then-truncated candidate set is
+// then provably the global budget-smallest set under (dist, index).
+func (s *Store) scanParallel(p *plan, lo, hi, budget, workers int) []knn.Neighbor {
+	seg := (hi - lo + workers - 1) / workers
+	collectors := make([]*knn.Collector, 0, workers)
+	var wg sync.WaitGroup
+	for a := lo; a < hi; a += seg {
+		b := a + seg
+		if b > hi {
+			b = hi
+		}
+		c := knn.NewCollector(budget)
+		collectors = append(collectors, c)
+		wg.Add(1)
+		go func(a, b int, c *knn.Collector) {
+			defer wg.Done()
+			s.scanSegment(p, a, b, c)
+		}(a, b, c)
+	}
+	wg.Wait()
+	var all []knn.Neighbor
+	for _, c := range collectors {
+		all = append(all, c.Results()...)
+	}
+	knn.SortNeighbors(all)
+	if len(all) > budget {
+		all = all[:budget]
+	}
+	return all
 }
 
 // SearchBatch runs Search for every row of queries, parallelized over up
-// to GOMAXPROCS goroutines (queries are independent).
+// to GOMAXPROCS goroutines (queries are independent, so per-query scans
+// stay sequential here — inter-query parallelism already saturates the
+// cores).
 func (s *Store) SearchBatch(queries *linalg.Dense, k, rescore int) [][]knn.Neighbor {
 	if queries.Cols() != s.l.d {
 		panic(fmt.Sprintf("store: queries have %d dims, store has %d", queries.Cols(), s.l.d))
@@ -173,4 +549,5 @@ func (s *Store) DropExactPages() {
 	hi := lo + 8*int64(s.l.n)*int64(s.l.d)
 	s.mm.dropRange(lo, hi)
 	fadviseDontneed(s.path, lo, hi-lo)
+	s.exactCold.Store(true)
 }

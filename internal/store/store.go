@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"unsafe"
 )
 
@@ -351,14 +352,22 @@ func ComputeScales(rows func(yield func(row []float64) bool), d int, prec Precis
 
 // ScaleAccumulator builds min/max scales from a stream of rows, so callers
 // (cmd/datagen) can fix scales in a first pass without holding the matrix.
+// It also tracks per-dimension first and second moments, from which
+// VarianceOrder derives a variance-descending storage permutation — the
+// order that concentrates signal into the leading quantized dimensions
+// the scan's early-abandon prefix reads.
 type ScaleAccumulator struct {
 	mins, maxs []float64
+	sum, sumsq []float64
 	n          int
 }
 
 // NewScaleAccumulator tracks d dimensions.
 func NewScaleAccumulator(d int) *ScaleAccumulator {
-	a := &ScaleAccumulator{mins: make([]float64, d), maxs: make([]float64, d)}
+	a := &ScaleAccumulator{
+		mins: make([]float64, d), maxs: make([]float64, d),
+		sum: make([]float64, d), sumsq: make([]float64, d),
+	}
 	for j := range a.mins {
 		a.mins[j] = math.Inf(1)
 		a.maxs[j] = math.Inf(-1)
@@ -366,7 +375,7 @@ func NewScaleAccumulator(d int) *ScaleAccumulator {
 	return a
 }
 
-// Add folds one row into the running extrema.
+// Add folds one row into the running extrema and moments.
 func (a *ScaleAccumulator) Add(row []float64) {
 	if len(row) != len(a.mins) {
 		panic(fmt.Sprintf("store: scale accumulator row has %d dims, want %d", len(row), len(a.mins)))
@@ -378,8 +387,45 @@ func (a *ScaleAccumulator) Add(row []float64) {
 		if x > a.maxs[j] {
 			a.maxs[j] = x
 		}
+		a.sum[j] += x
+		a.sumsq[j] += x * x
 	}
 	a.n++
+}
+
+// VarianceOrder returns a storage permutation sorting dimensions by
+// descending empirical variance (ties broken by ascending dimension
+// index, so the order is deterministic). Building a store with this
+// permutation front-loads the high-variance dimensions, which is what
+// makes partial-distance prefixes admissible *and* effective: per
+// Thomasian's stepwise-dimensionality argument, the prefix of a
+// variance-sorted order captures most of the distance mass, so prefix
+// lower bounds reject most points early. Exact results are unaffected by
+// any permutation — it only reorders storage.
+func (a *ScaleAccumulator) VarianceOrder() []int {
+	d := len(a.mins)
+	vars := make([]float64, d)
+	if a.n > 0 {
+		inv := 1 / float64(a.n)
+		for j := range vars {
+			mean := a.sum[j] * inv
+			v := a.sumsq[j]*inv - mean*mean
+			if v > 0 {
+				vars[j] = v
+			}
+		}
+	}
+	perm := identityPerm(d)
+	sort.SliceStable(perm, func(x, y int) bool {
+		if vars[perm[x]] > vars[perm[y]] {
+			return true
+		}
+		if vars[perm[x]] < vars[perm[y]] {
+			return false
+		}
+		return perm[x] < perm[y]
+	})
+	return perm
 }
 
 // Scales finalizes (min, step) per dimension for the precision. Constant

@@ -38,7 +38,7 @@ trap 'rm -f "$tmp"' EXIT
 
 # The ns-scale Dot kernels need enough iterations to swamp timer overhead,
 # so they get a time-based budget instead of the fixed iteration count.
-go test -run=NONE -benchtime=200ms -bench='^(BenchmarkDot166|BenchmarkDotU8_166|BenchmarkDotU16_166)$' ./internal/linalg/ >>"$tmp"
+go test -run=NONE -benchtime=200ms -bench='^(BenchmarkDot166|BenchmarkDotU8_166|BenchmarkDotU16_166|BenchmarkDotQ15U8_166|BenchmarkDotQ15U16_166|BenchmarkDotQ15U8x4_166|BenchmarkDotQ15U8x8_166)$' ./internal/linalg/ >>"$tmp"
 go test -run=NONE -benchtime="$benchtime" \
   -bench='^(BenchmarkMulT512x166|BenchmarkMulNaiveT512x166|BenchmarkAtA6598x166)$' \
   ./internal/linalg/ >>"$tmp"
@@ -52,6 +52,26 @@ go test -run=NONE -benchtime="$benchtime" \
 # One full drlint pass (parse + type-check + all eight rules): the cost CI
 # and `go test ./...` pay per run, recorded so regressions are visible.
 go test -run=NONE -benchtime=1x -bench='^BenchmarkDrlintModule$' ./internal/analysis/ >>"$tmp"
+
+# Regression guard on the scan rewrite: the integer-SIMD blocked scan must
+# hold at least a 2x lead over the float64 scalar scan on the acceptance
+# shape, or the measurement is refused — a recorded BENCH_knn.json always
+# certifies the quantized path actually pays for itself.
+awk '
+/^BenchmarkStoreSearchInt8_6598x166/ { int8 = $3 }
+/^BenchmarkExactSearch6598x166/      { exact = $3 }
+END {
+    if (int8 == 0 || exact == 0) {
+        print "bench.sh: missing StoreSearchInt8/ExactSearch rows in benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    if (int8 * 2 > exact) {
+        printf "bench.sh: StoreSearchInt8_6598x166 (%d ns/op) is not 2x faster than ExactSearch6598x166 (%d ns/op); refusing to record\n", int8, exact > "/dev/stderr"
+        exit 1
+    }
+    printf "scan guard: StoreSearchInt8 %d ns/op vs ExactSearch %d ns/op (%.2fx)\n", int8, exact, exact / int8
+}
+' "$tmp"
 
 # Quantized-store acceptance run: stream-build STORE_N x 166 points, verify
 # the store-backed exact path bit-identical to SearchSetBatch, measure
