@@ -2,7 +2,11 @@
 // over the module and exits nonzero on findings. The four syntactic rules
 // (dimguard, globalrand, floatcmp, goroutinehygiene) are joined by four
 // type-aware rules (atomicmix, lockhold, ctxflow, errwrap) that run over a
-// go/types-checked view of every package.
+// go/types-checked view of every package, and by three dataflow rules
+// (hotalloc, unsafelife, asmabi) that reason over a module-local call
+// graph: hot-path allocation tracking behind //drlint:hotpath
+// annotations, mmap view lifetime confinement, and asm/Go ABI contract
+// checking for the amd64 kernels.
 //
 // Usage:
 //
@@ -48,7 +52,11 @@ func main() {
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			family := a.Family
+			if a.NeedsAnnotation {
+				family += ", needs annotations"
+			}
+			fmt.Printf("%-16s %-30s %s\n", a.Name, "("+family+")", a.Doc)
 		}
 		return
 	}

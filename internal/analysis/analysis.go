@@ -98,6 +98,42 @@ type Pass struct {
 	diags    *[]Diagnostic
 }
 
+// ModulePass carries one module-scope analyzer's run over every loaded
+// package at once. Rules that need a cross-package view — a call graph, or
+// taint that flows through another package's constructor — run here instead
+// of package by package. Findings are attributed to the package owning the
+// file they point at, so //drlint:ignore directives filter them exactly
+// like package-scope findings.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos, resolved through pkg's FileSet.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles returns pkg's files, skipping tests when the analyzer does
+// not apply to them (mirrors Pass.SourceFiles).
+func (p *ModulePass) SourceFiles(pkg *Package) []File {
+	if p.Analyzer.IncludeTests {
+		return pkg.Files
+	}
+	out := make([]File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		if !f.Test {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
@@ -126,22 +162,34 @@ func (p *Pass) SourceFiles() []File {
 type Analyzer struct {
 	Name string
 	Doc  string
+	// Family classifies how deep the rule looks: "syntactic" (pure AST),
+	// "type-aware" (needs go/types objects), or "dataflow" (value/alias
+	// tracking over the module call graph). Informational — drives the
+	// cmd/drlint -list output.
+	Family string
+	// NeedsAnnotation marks rules that only fire on code opted in via a
+	// source annotation (e.g. hotalloc's //drlint:hotpath roots).
+	NeedsAnnotation bool
 	// IncludeTests runs the rule over *_test.go files too. All shipped
 	// analyzers enforce production invariants and leave tests alone.
 	IncludeTests bool
 	// NeedsTypes marks rules that require a successful type check; they
 	// skip packages whose TypesInfo is unavailable.
 	NeedsTypes bool
-	Run        func(pass *Pass)
+	// Exactly one of Run (package scope) and RunModule (module scope) is
+	// set. Module-scope rules see every loaded package in one pass.
+	Run       func(pass *Pass)
+	RunModule func(pass *ModulePass)
 }
 
 // All returns the analyzers this project enforces, in stable order: the
-// four syntactic rules from the first drlint, then the four type-aware
-// rules.
+// four syntactic rules from the first drlint, the four type-aware rules,
+// then the three dataflow rules.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DimGuard, GlobalRand, FloatCmp, GoroutineHygiene,
 		AtomicMix, LockHold, CtxFlow, ErrWrap,
+		HotAlloc, UnsafeLife, AsmABI,
 	}
 }
 
@@ -190,18 +238,51 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // callers gating against a baseline can flag directives the baseline makes
 // redundant.
 func RunPackagesResult(pkgs []*Package, analyzers []*Analyzer) RunResult {
-	var res RunResult
-	for _, pkg := range pkgs {
-		var pkgDiags []Diagnostic
+	perPkg := make([][]Diagnostic, len(pkgs))
+	for i, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.NeedsTypes && pkg.TypesInfo == nil {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &perPkg[i]}
 			a.Run(pass)
 		}
-		pkgDiags = append(pkgDiags, typeErrorDiagnostics(pkg)...)
-		kept, sup := filterIgnored(pkg, pkgDiags)
+		perPkg[i] = append(perPkg[i], typeErrorDiagnostics(pkg)...)
+	}
+
+	// Module-scope analyzers run once over the whole package set; their
+	// findings are routed back to the package owning each file so directive
+	// filtering applies uniformly.
+	var res RunResult
+	fileOwner := map[string]int{}
+	for i, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fileOwner[pkg.Fset.Position(f.AST.Pos()).Filename] = i
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs}
+		a.RunModule(mp)
+		for _, d := range mp.diags {
+			if i, ok := fileOwner[d.Pos.Filename]; ok {
+				perPkg[i] = append(perPkg[i], d)
+			} else {
+				// Positions outside any loaded Go file (none today; a
+				// belt-and-braces route for future rules) skip directive
+				// filtering — there is no file to carry a directive.
+				res.Diags = append(res.Diags, d)
+			}
+		}
+	}
+
+	for i, pkg := range pkgs {
+		kept, sup := filterIgnored(pkg, perPkg[i])
 		res.Diags = append(res.Diags, kept...)
 		res.Suppressed = append(res.Suppressed, sup...)
 	}

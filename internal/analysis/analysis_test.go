@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -145,6 +146,27 @@ func TestCtxFlowSkipsOtherPackages(t *testing.T) {
 
 func TestErrWrapFixture(t *testing.T) {
 	runFixture(t, ErrWrap, "errwrap", "")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc", "repro/internal/hotfix")
+}
+
+func TestUnsafeLifeStoreFixture(t *testing.T) {
+	// Under the store's own import path: taint, escape, and liveness checks.
+	runFixture(t, UnsafeLife, "unsafelife", "repro/internal/store")
+}
+
+func TestUnsafeLifeConfinementFixture(t *testing.T) {
+	// Under any other import path every unsafe use is flagged outright.
+	runFixture(t, UnsafeLife, "unsafeleak", "repro/internal/leak")
+}
+
+func TestAsmABIFixture(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skip("asmabi is inert off amd64")
+	}
+	runFixture(t, AsmABI, "asmabi", "repro/internal/asmfix")
 }
 
 // parseSrc builds an in-memory single-file package for directive tests.
@@ -318,17 +340,24 @@ func TestDiagnosticString(t *testing.T) {
 
 func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
 	seen := map[string]bool{}
+	families := map[string]bool{"syntactic": true, "type-aware": true, "dataflow": true}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Fatalf("analyzer %+v incomplete", a)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Fatalf("analyzer %q must set exactly one of Run and RunModule", a.Name)
+		}
+		if !families[a.Family] {
+			t.Fatalf("analyzer %q has unknown family %q", a.Name, a.Family)
 		}
 		if seen[a.Name] {
 			t.Fatalf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 4 {
-		t.Fatalf("want at least 4 analyzers, got %d", len(seen))
+	if len(seen) < 11 {
+		t.Fatalf("want at least 11 analyzers, got %d", len(seen))
 	}
 }
 

@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AsmABI cross-checks the hand-written amd64 assembly kernels against their
+// Go declarations, on three axes:
+//
+//   - Every bodyless func in an amd64-gated file must have a matching
+//     `TEXT ·name(SB)` in one of the package's .s files, with a $0 frame
+//     (the kernels are NOSPLIT leaves), an argument-bytes annotation equal
+//     to the ABI0 layout computed from the Go signature, and every named
+//     FP reference (name+off, name_base/name_len/name_cap for slices)
+//     resolving to the correct offset. Orphan TEXT symbols with no Go
+//     declaration are flagged too.
+//   - Every bodied function in an amd64-gated file that is referenced from
+//     unconstrained files must have a build-tag-paired !amd64 twin with a
+//     byte-identical signature, so the module keeps compiling (and behaving)
+//     on other architectures.
+//   - Every twin-paired dispatcher must be referenced directly from a
+//     package test file: the forced-generic parity tests are the only thing
+//     asserting that asm and fallback agree, so an untested dispatcher is a
+//     silent drift channel.
+//
+// Findings are always anchored at Go-side positions (the stub, the
+// dispatcher, or the arch file's package clause) — .s files cannot carry
+// suppression directives. The rule is inert when the analysis itself runs on
+// a non-amd64 host, where the amd64-gated files are not loaded.
+var AsmABI = &Analyzer{
+	Name: "asmabi",
+	Doc: "amd64 asm kernels must match their Go stubs (frame size, argument bytes, FP " +
+		"offsets) and every asm-backed dispatcher needs a signature-identical !amd64 twin " +
+		"plus a direct parity-test reference",
+	Family:     "dataflow",
+	NeedsTypes: true,
+	Run:        runAsmABI,
+}
+
+var (
+	textDirectiveRE = regexp.MustCompile(`^TEXT\s+·([A-Za-z0-9_]+)\(SB\)\s*,\s*(?:[A-Z0-9|]+\s*,\s*)?\$(-?\d+)(?:-(\d+))?`)
+	fpRefRE         = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)\+(\d+)\(FP\)`)
+)
+
+// asmSymbol is one TEXT block parsed from a .s file.
+type asmSymbol struct {
+	name     string
+	frame    int64
+	argBytes int64 // -1 when the $frame-argbytes annotation omits the size
+	fpRefs   []fpRef
+}
+
+type fpRef struct {
+	name string
+	off  int64
+}
+
+func runAsmABI(pass *Pass) {
+	if runtime.GOARCH != "amd64" {
+		return
+	}
+	pkg := pass.Pkg
+	if len(pkg.Files) == 0 {
+		return
+	}
+	dir := filepath.Dir(pkg.Files[0].Name)
+
+	symbols := parseAsmDir(dir)
+	archFiles, stubs, dispatchers := collectArchDecls(pkg)
+	if len(symbols) == 0 && len(stubs) == 0 && len(dispatchers) == 0 {
+		return
+	}
+	sizes := types.SizesFor("gc", "amd64")
+	stubNames := map[string]bool{}
+	for _, stub := range stubs {
+		stubNames[stub.decl.Name.Name] = true
+	}
+
+	// Stub-side checks: TEXT present, frame $0, argument bytes, FP offsets.
+	for _, stub := range stubs {
+		sym, ok := symbols[stub.decl.Name.Name]
+		if !ok {
+			pass.Reportf(stub.decl.Pos(), "asm stub %s has no TEXT directive in any %s .s file", stub.decl.Name.Name, filepath.Base(dir))
+			continue
+		}
+		layout := stubLayout(pkg, stub.decl, sizes)
+		if layout == nil {
+			continue // no type info for the stub; typecheck diagnostics cover it
+		}
+		if sym.frame != 0 {
+			pass.Reportf(stub.decl.Pos(), "TEXT ·%s frame size $%d; kernels are NOSPLIT leaves and must use $0", sym.name, sym.frame)
+		}
+		if sym.argBytes < 0 {
+			pass.Reportf(stub.decl.Pos(), "TEXT ·%s omits the argument-bytes annotation; want $0-%d", sym.name, layout.argBytes)
+		} else if sym.argBytes != layout.argBytes {
+			pass.Reportf(stub.decl.Pos(), "TEXT ·%s declares %d argument bytes, Go signature needs %d", sym.name, sym.argBytes, layout.argBytes)
+		}
+		for _, ref := range sym.fpRefs {
+			want, err := layout.resolve(ref.name)
+			if err != "" {
+				pass.Reportf(stub.decl.Pos(), "TEXT ·%s references %s+%d(FP): %s", sym.name, ref.name, ref.off, err)
+				continue
+			}
+			if want != ref.off {
+				pass.Reportf(stub.decl.Pos(), "TEXT ·%s references %s+%d(FP); ABI0 offset of %s is %d", sym.name, ref.name, ref.off, ref.name, want)
+			}
+		}
+	}
+
+	// Orphan TEXT symbols: no bodyless Go declaration. Anchored at the arch
+	// file's package clause, the closest Go-side position there is.
+	if len(archFiles) > 0 {
+		var orphans []string
+		for name := range symbols {
+			if !stubNames[name] {
+				orphans = append(orphans, name)
+			}
+		}
+		sort.Strings(orphans)
+		anchor := archFiles[0].AST.Name.Pos()
+		for _, name := range orphans {
+			pass.Reportf(anchor, "TEXT ·%s has no Go asm stub declaration in this package", name)
+		}
+	}
+
+	// Twin + parity checks for asm-backed dispatchers referenced from
+	// unconstrained code.
+	referenced, testRefs := referenceSets(pkg)
+	twins := parseExcludedDecls(pkg, dir)
+	for _, d := range dispatchers {
+		name := d.decl.Name.Name
+		if !referenced[name] {
+			continue // arch-internal helper; nothing outside amd64 needs it
+		}
+		twin, ok := twins[name]
+		if !ok {
+			pass.Reportf(d.decl.Pos(), "%s is amd64-only but referenced from unconstrained code; add a !amd64 twin with the same signature", name)
+			continue
+		}
+		got := types.ExprString(d.decl.Type)
+		want := types.ExprString(twin.Type)
+		if got != want {
+			pass.Reportf(d.decl.Pos(), "%s signature drifted from its !amd64 twin: amd64 %s, fallback %s", name, got, want)
+			continue
+		}
+		if !testRefs[name] {
+			pass.Reportf(d.decl.Pos(), "%s has no direct parity-test reference; add a forced-generic comparison test", name)
+		}
+	}
+}
+
+type archStub struct {
+	decl *ast.FuncDecl
+	file File
+}
+
+// collectArchDecls splits the loaded package's amd64-gated non-test files
+// into bodyless asm stubs and bodied dispatchers, in declaration order.
+func collectArchDecls(pkg *Package) (archFiles []File, stubs, dispatchers []archStub) {
+	for _, f := range pkg.Files {
+		if f.Test || !fileIsAmd64Gated(f) {
+			continue
+		}
+		archFiles = append(archFiles, f)
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if fd.Body == nil {
+				stubs = append(stubs, archStub{decl: fd, file: f})
+			} else {
+				dispatchers = append(dispatchers, archStub{decl: fd, file: f})
+			}
+		}
+	}
+	return archFiles, stubs, dispatchers
+}
+
+// fileIsAmd64Gated reports whether the file only builds on amd64, via the
+// _amd64 filename suffix or a //go:build constraint that matches amd64 and
+// not arm64.
+func fileIsAmd64Gated(f File) bool {
+	base := strings.TrimSuffix(filepath.Base(f.Name), ".go")
+	if strings.HasSuffix(base, "_amd64") {
+		return true
+	}
+	expr := buildConstraintExpr(f.AST)
+	if expr == nil {
+		return false
+	}
+	return evalConstraintForArch(expr, "amd64") && !evalConstraintForArch(expr, "arm64")
+}
+
+// buildConstraintExpr extracts the //go:build expression from a parsed file.
+func buildConstraintExpr(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err == nil {
+					return expr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func evalConstraintForArch(expr constraint.Expr, arch string) bool {
+	return expr.Eval(func(tag string) bool {
+		return tag == arch || tag == "linux" || tag == "gc"
+	})
+}
+
+// referenceSets scans identifiers in the package's unconstrained files:
+// referenced holds every name used outside amd64-gated files (so it must
+// exist on all architectures); testRefs holds names used directly in test
+// files (parity coverage).
+func referenceSets(pkg *Package) (referenced, testRefs map[string]bool) {
+	referenced = map[string]bool{}
+	testRefs = map[string]bool{}
+	for _, f := range pkg.Files {
+		gated := fileIsAmd64Gated(f)
+		if gated && !f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if !gated {
+				referenced[id.Name] = true
+			}
+			if f.Test {
+				testRefs[id.Name] = true
+			}
+			return true
+		})
+	}
+	return referenced, testRefs
+}
+
+// parseExcludedDecls parses the package directory's .go files that the
+// loader excluded on this platform (the !amd64 twins live there) and returns
+// their bodied top-level functions by name.
+func parseExcludedDecls(pkg *Package, dir string) map[string]*ast.FuncDecl {
+	loaded := map[string]bool{}
+	for _, f := range pkg.Files {
+		loaded[filepath.Base(f.Name)] = true
+	}
+	out := map[string]*ast.FuncDecl{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || loaded[name] {
+			continue
+		}
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil || af.Name.Name != pkg.Files[0].AST.Name.Name {
+			continue
+		}
+		for _, decl := range af.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
+				out[fd.Name.Name] = fd
+			}
+		}
+	}
+	return out
+}
+
+// parseAsmDir scans every .s file in dir for TEXT blocks and their FP
+// references. Comments are stripped; file-local symbols (name<>) and
+// GLOBL/DATA directives are ignored.
+func parseAsmDir(dir string) map[string]*asmSymbol {
+	out := map[string]*asmSymbol{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".s") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var cur *asmSymbol
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.Index(line, "//"); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if m := textDirectiveRE.FindStringSubmatch(line); m != nil {
+				frame, _ := strconv.ParseInt(m[2], 10, 64)
+				argBytes := int64(-1)
+				if m[3] != "" {
+					argBytes, _ = strconv.ParseInt(m[3], 10, 64)
+				}
+				cur = &asmSymbol{name: m[1], frame: frame, argBytes: argBytes}
+				out[cur.name] = cur
+				continue
+			}
+			if strings.HasPrefix(line, "TEXT") {
+				cur = nil // file-local or unparsable TEXT: stop attributing refs
+				continue
+			}
+			if cur == nil {
+				continue
+			}
+			for _, m := range fpRefRE.FindAllStringSubmatch(line, -1) {
+				off, _ := strconv.ParseInt(m[2], 10, 64)
+				cur.fpRefs = append(cur.fpRefs, fpRef{name: m[1], off: off})
+			}
+		}
+	}
+	return out
+}
+
+// abiLayout is the ABI0 argument frame computed from a Go signature: every
+// parameter packed with natural alignment, results starting 8-aligned after
+// the parameters, total rounded up to 8.
+type abiLayout struct {
+	offsets  map[string]int64
+	sliceish map[string]bool // slice or string: has _len
+	capable  map[string]bool // slice: has _cap
+	argBytes int64
+}
+
+func stubLayout(pkg *Package, fd *ast.FuncDecl, sizes types.Sizes) *abiLayout {
+	if pkg.TypesInfo == nil {
+		return nil
+	}
+	obj, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	l := &abiLayout{offsets: map[string]int64{}, sliceish: map[string]bool{}, capable: map[string]bool{}}
+	off := int64(0)
+	place := func(name string, t types.Type) {
+		off = alignTo(off, sizes.Alignof(t))
+		if name != "" && name != "_" {
+			l.offsets[name] = off
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				l.sliceish[name] = true
+				l.capable[name] = true
+			case *types.Basic:
+				if t.Underlying().(*types.Basic).Info()&types.IsString != 0 {
+					l.sliceish[name] = true
+				}
+			}
+		}
+		off += sizes.Sizeof(t)
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		place(params.At(i).Name(), params.At(i).Type())
+	}
+	off = alignTo(off, 8)
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		name := results.At(i).Name()
+		if name == "" {
+			if results.Len() == 1 {
+				name = "ret"
+			} else {
+				name = fmt.Sprintf("ret%d", i)
+			}
+		}
+		place(name, results.At(i).Type())
+	}
+	l.argBytes = alignTo(off, 8)
+	return l
+}
+
+func alignTo(off, a int64) int64 {
+	if a <= 0 {
+		return off
+	}
+	return (off + a - 1) / a * a
+}
+
+// resolve maps an FP symbol name to its expected offset: a plain parameter
+// name addresses its first word; name_base/name_len/name_cap address slice
+// header words.
+func (l *abiLayout) resolve(name string) (int64, string) {
+	if off, ok := l.offsets[name]; ok {
+		return off, ""
+	}
+	for suffix, extra := range map[string]int64{"_base": 0, "_len": 8, "_cap": 16} {
+		if !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		base := strings.TrimSuffix(name, suffix)
+		off, ok := l.offsets[base]
+		if !ok {
+			break
+		}
+		switch suffix {
+		case "_len":
+			if !l.sliceish[base] {
+				return 0, fmt.Sprintf("%s is not a slice or string; %s has no length word", base, name)
+			}
+		case "_cap":
+			if !l.capable[base] {
+				return 0, fmt.Sprintf("%s is not a slice; %s has no capacity word", base, name)
+			}
+		}
+		return off + extra, ""
+	}
+	return 0, "no parameter or result of this name in the Go stub signature"
+}

@@ -18,6 +18,7 @@ import (
 // plain-typed field's address is passed to the atomic functions.
 var AtomicMix = &Analyzer{
 	Name:       "atomicmix",
+	Family:     "type-aware",
 	Doc:        "a struct field accessed with sync/atomic operations must never be read or written plainly",
 	NeedsTypes: true,
 	Run:        runAtomicMix,

@@ -3,9 +3,11 @@ package analysis
 import "testing"
 
 // BenchmarkDrlintModule measures one full drlint pass over the module:
-// parse every package, type-check it with the file-system importer, and run
-// all eight analyzers. This is the cost `go test ./...` and CI pay on every
-// run, so scripts/bench.sh records it next to the numeric kernels.
+// parse every package, type-check it with the file-system importer, and
+// run all eleven analyzers — including the dataflow rules' call-graph
+// construction, taint fixpoint, and asm parsing. This is the cost
+// `go test ./...` and CI pay on every run, so scripts/bench.sh records it
+// next to the numeric kernels; it must stay well under 5 s per pass.
 func BenchmarkDrlintModule(b *testing.B) {
 	root, err := moduleRoot()
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 // context.WithCancel(ctx), or an alias) counts as propagation.
 var CtxFlow = &Analyzer{
 	Name:       "ctxflow",
+	Family:     "type-aware",
 	Doc:        "exported context-accepting functions in internal/serve and cmd/drtool must propagate their context; context roots only in main and tests",
 	NeedsTypes: true,
 	Run:        runCtxFlow,

@@ -15,9 +15,10 @@ import (
 // dimension mismatch into a silent wrong answer or an out-of-range panic
 // deep inside a blocked loop.
 var DimGuard = &Analyzer{
-	Name: "dimguard",
-	Doc:  "exported numeric kernels taking ≥2 vector/matrix parameters must validate dimensions before indexing",
-	Run:  runDimGuard,
+	Name:   "dimguard",
+	Family: "syntactic",
+	Doc:    "exported numeric kernels taking ≥2 vector/matrix parameters must validate dimensions before indexing",
+	Run:    runDimGuard,
 }
 
 // dimGuardPackages are the import-path suffixes the rule applies to: the

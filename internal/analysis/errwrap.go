@@ -23,6 +23,7 @@ import (
 //     that carries no compatibility promise.
 var ErrWrap = &Analyzer{
 	Name:       "errwrap",
+	Family:     "type-aware",
 	Doc:        "module sentinel errors must be compared with errors.Is and wrapped with %w — never ==/!=, switch cases, or string matching",
 	NeedsTypes: true,
 	Run:        runErrWrap,

@@ -24,9 +24,10 @@ import (
 // indexing into []float64, fields and same-package functions declared
 // float) and only reports when an operand is confidently floating-point.
 var FloatCmp = &Analyzer{
-	Name: "floatcmp",
-	Doc:  "no ==/!= between floating-point expressions outside tests (exact-zero guards excepted)",
-	Run:  runFloatCmp,
+	Name:   "floatcmp",
+	Family: "syntactic",
+	Doc:    "no ==/!= between floating-point expressions outside tests (exact-zero guards excepted)",
+	Run:    runFloatCmp,
 }
 
 // mathFloatFuncs are math.* functions returning float64 that appear in

@@ -24,9 +24,10 @@ import (
 // reproducing a figure from the paper verbatim — carry a justified
 // //drlint:ignore directive instead.
 var GlobalRand = &Analyzer{
-	Name: "globalrand",
-	Doc:  "randomness must flow through an injected seeded *rand.Rand; no global math/rand, no literal seeds in library code",
-	Run:  runGlobalRand,
+	Name:   "globalrand",
+	Family: "syntactic",
+	Doc:    "randomness must flow through an injected seeded *rand.Rand; no global math/rand, no literal seeds in library code",
+	Run:    runGlobalRand,
 }
 
 // randConstructors are the math/rand functions that build sources/streams

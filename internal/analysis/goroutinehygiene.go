@@ -15,9 +15,10 @@ import (
 // exactly the data race the batch engine's deterministic reductions cannot
 // tolerate.
 var GoroutineHygiene = &Analyzer{
-	Name: "goroutinehygiene",
-	Doc:  "go statements inside loops must be joined via WaitGroup Add/Done-Wait or a result-channel handshake in the same function",
-	Run:  runGoroutineHygiene,
+	Name:   "goroutinehygiene",
+	Family: "syntactic",
+	Doc:    "go statements inside loops must be joined via WaitGroup Add/Done-Wait or a result-channel handshake in the same function",
+	Run:    runGoroutineHygiene,
 }
 
 func runGoroutineHygiene(pass *Pass) {

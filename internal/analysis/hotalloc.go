@@ -1,0 +1,382 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces allocation-free hot paths. A function annotated with a
+// //drlint:hotpath doc-comment line — and every module function it
+// transitively calls through statically resolvable edges — must not
+// allocate: composite/slice/map literals, make/new/append, closures that
+// capture variables, defer, interface boxing at call sites, string/[]byte
+// conversions, calls into non-allowlisted external packages, and calls to
+// module functions that return fresh memory are all flagged.
+//
+// Recognized-clean idioms (the amortized-to-zero patterns this module uses):
+// pool-miss refills guarded by `if v == nil` on a (*sync.Pool).Get result,
+// growth guarded by a cap()/len() comparison, allocations whose value is the
+// function's own result (flows into a return or channel send), appends into
+// a buffer pre-sized under a cap guard earlier in the function, and panic
+// arguments (the crash path is off the hot path by definition).
+//
+// Known gap: calls through interfaces or function values are not followed —
+// the static call graph only records direct calls, so dynamic callees must
+// carry their own annotation to be checked.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //drlint:hotpath (and their transitive module callees) " +
+		"must not allocate; pool-backed scratch, cap-guarded growth, and result " +
+		"materialization are recognized as clean",
+	Family:          "dataflow",
+	NeedsAnnotation: true,
+	NeedsTypes:      true,
+	RunModule:       runHotAlloc,
+}
+
+// hotPkgAllowlist are external packages whose functions are trusted not to
+// allocate on the paths this module calls (synchronization, math, runtime
+// introspection, in-place slice algorithms).
+var hotPkgAllowlist = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+	"runtime":     true,
+	"time":        true,
+	"slices":      true,
+	"sort":        false, // sort.Slice takes a closure; use slices.SortFunc
+	"unsafe":      true,
+	"syscall":     true,
+}
+
+// hotFuncAllowlist admits individual external functions from packages that
+// are not blanket-trusted.
+var hotFuncAllowlist = map[string]bool{
+	"os.Getpagesize": true,
+}
+
+func runHotAlloc(pass *ModulePass) {
+	g := buildCallGraph(pass)
+	var roots []*types.Func
+	for _, fi := range g.funcs {
+		if hasHotpathDirective(fi.decl) {
+			roots = append(roots, fi.obj)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	hot := g.reach(roots)
+	facts := computeFuncFacts(g)
+	for _, fi := range g.funcs {
+		root, ok := hot[fi.obj]
+		if !ok || fi.decl.Body == nil {
+			continue
+		}
+		(&hotChecker{
+			pass:  pass,
+			graph: g,
+			facts: facts,
+			fi:    fi,
+			root:  root,
+		}).check()
+	}
+}
+
+type hotChecker struct {
+	pass  *ModulePass
+	graph *callGraph
+	facts map[*types.Func]*funcFacts
+	fi    *funcInfo
+	root  string
+
+	pools    map[types.Object]bool
+	sinks    map[types.Object]bool
+	presized map[string]bool
+}
+
+func (c *hotChecker) check() {
+	info := c.fi.pkg.TypesInfo
+	body := c.fi.decl.Body
+	c.pools = poolGetVars(info, body)
+	c.sinks = sinkVars(info, body)
+	c.presized = preSizedExprs(body)
+
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		c.checkNode(n, stack)
+		return true
+	})
+}
+
+// where renders the hot-path attribution for messages: the annotated root
+// that makes this function hot.
+func (c *hotChecker) where() string {
+	name := qualifiedName(c.fi.obj)
+	if name == c.root {
+		return "hot path " + name
+	}
+	return "hot path (reached from " + c.root + ")"
+}
+
+func (c *hotChecker) checkNode(n ast.Node, stack []ast.Node) {
+	info := c.fi.pkg.TypesInfo
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		heap := false
+		if len(stack) >= 2 {
+			if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+				heap = true
+			}
+		}
+		isRef := false
+		switch t := n.Type.(type) {
+		case *ast.ArrayType:
+			isRef = t.Len == nil // slice literal; [N]T is a value
+		case *ast.MapType:
+			isRef = true
+		}
+		if !heap && !isRef {
+			return // value struct/array composite: no allocation
+		}
+		if c.exempted(stack) {
+			return
+		}
+		c.pass.Reportf(c.fi.pkg, n.Pos(), "%s: composite literal allocates each call; hoist it or reuse a buffer", c.where())
+	case *ast.CallExpr:
+		c.checkCall(n, stack)
+	case *ast.FuncLit:
+		caps := closureCaptures(info, n)
+		if len(caps) == 0 || c.exempted(stack) {
+			return
+		}
+		c.pass.Reportf(c.fi.pkg, n.Pos(), "%s: closure capture of %s allocates at each creation; hoist to a method or pass parameters explicitly", c.where(), strings.Join(caps, ", "))
+	case *ast.DeferStmt:
+		if c.exempted(stack) {
+			return
+		}
+		c.pass.Reportf(c.fi.pkg, n.Pos(), "%s: defer allocates a deferred frame; call directly on each exit path", c.where())
+	}
+}
+
+func (c *hotChecker) checkCall(call *ast.CallExpr, stack []ast.Node) {
+	info := c.fi.pkg.TypesInfo
+
+	// Builtins: make/new always allocate; append may grow.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				if !c.exempted(stack) {
+					c.pass.Reportf(c.fi.pkg, call.Pos(), "%s: %s allocates each call; pool it or pre-size behind a cap guard", c.where(), id.Name)
+				}
+			case "append":
+				if !c.appendPreSized(call, stack) && !c.exempted(stack) {
+					c.pass.Reportf(c.fi.pkg, call.Pos(), "%s: append may grow its backing array; pre-size behind a cap/len guard", c.where())
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if allocatingConversion(tv.Type, info.Types[call.Args[0]].Type) {
+			if !c.exempted(stack) {
+				c.pass.Reportf(c.fi.pkg, call.Pos(), "%s: string/[]byte conversion copies and allocates; keep one representation", c.where())
+			}
+		}
+		return
+	}
+
+	callee := calleeOf(info, call)
+	if callee == nil {
+		// Dynamic call (interface method, func value): not followed — the
+		// documented gap. The callee must carry its own annotation.
+		return
+	}
+	if c.graph.byObj[callee] != nil {
+		if f := c.facts[callee]; f != nil && f.returnsFresh && !c.exempted(stack) {
+			c.pass.Reportf(c.fi.pkg, call.Pos(), "%s: %s returns freshly allocated memory each call; pool or reuse the result", c.where(), qualifiedName(callee))
+		}
+	} else if pkg := callee.Pkg(); pkg != nil && !strings.HasPrefix(pkg.Path(), modulePath) {
+		if !hotPkgAllowlist[pkg.Path()] && !hotFuncAllowlist[callee.FullName()] && !c.exempted(stack) {
+			c.pass.Reportf(c.fi.pkg, call.Pos(), "%s: call into %s may allocate; move it off the hot path or extend the allowlist", c.where(), callee.FullName())
+		}
+	}
+	c.checkBoxing(call, callee, stack)
+}
+
+// checkBoxing flags arguments whose concrete, non-pointer-shaped value is
+// passed to an interface parameter — an allocation when the value escapes.
+func (c *hotChecker) checkBoxing(call *ast.CallExpr, callee *types.Func, stack []ast.Node) {
+	info := c.fi.pkg.TypesInfo
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		// A type parameter's underlying is an interface, but generic
+		// calls instantiate: the argument is passed as its concrete
+		// type, never boxed.
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.IsNil() || tv.Type == nil || types.IsInterface(tv.Type) {
+			continue
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue // pointer-shaped: stored in the interface word directly
+		}
+		if c.exempted(stack) {
+			continue
+		}
+		c.pass.Reportf(c.fi.pkg, arg.Pos(), "%s: %s argument boxes into interface parameter and may allocate; use a concrete type", c.where(), types.TypeString(tv.Type, nil))
+	}
+}
+
+// appendPreSized reports whether this append writes back into an expression
+// that was re-made under a cap/len guard earlier in the function — growth is
+// amortized to zero, so the append is clean.
+func (c *hotChecker) appendPreSized(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		as, ok := stack[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if len(as.Lhs) != 1 {
+			return false
+		}
+		l := types.ExprString(as.Lhs[0])
+		return c.presized[l] && types.ExprString(call.Args[0]) == l
+	}
+	return false
+}
+
+// exempted walks the ancestor stack looking for a context that makes an
+// allocation acceptable: a panic argument, a cap/len-guarded or
+// pool-miss-guarded branch, or a statement whose value is the function's
+// result (return, channel send, or assignment to a variable that reaches
+// one).
+func (c *hotChecker) exempted(stack []ast.Node) bool {
+	info := c.fi.pkg.TypesInfo
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(a.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if condHasCapLenGuard(a.Cond) {
+				return true
+			}
+			if condIsNilCheckOn(info, a.Cond, c.pools) {
+				return true
+			}
+		case *ast.ReturnStmt, *ast.SendStmt:
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range a.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && c.sinks[obj] {
+						return true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range a.Names {
+				if obj := info.ObjectOf(name); obj != nil && c.sinks[obj] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// closureCaptures returns the names of function-local variables a closure
+// references from its enclosing function. A capture-free FuncLit compiles to
+// a static function value and does not allocate.
+func closureCaptures(info *types.Info, lit *ast.FuncLit) []string {
+	var names []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure
+		}
+		if scope := v.Parent(); scope != nil && scope.Parent() == types.Universe {
+			return true // package-level variable, not a capture
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}
+
+// allocatingConversion reports whether a conversion from 'from' to 'to'
+// copies its data: string <-> []byte / []rune in either direction.
+func allocatingConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -22,6 +22,51 @@ type directive struct {
 	pos    token.Pos
 }
 
+// ignoreParse classifies one comment's relation to the directive grammar.
+type ignoreParse int
+
+const (
+	// notIgnore: the comment is not an ignore directive at all. This
+	// includes tokens that merely share the prefix ("drlint:ignores",
+	// "drlint:ignorefoo") — a directive is the exact word or nothing, so
+	// prose mentioning the syntax can never silence a rule.
+	notIgnore ignoreParse = iota
+	// malformedIgnore: starts as a directive but violates the grammar
+	// (no rule list, an empty rule element, or no reason).
+	malformedIgnore
+	// wellFormedIgnore: rules and reason both parsed.
+	wellFormedIgnore
+)
+
+// parseIgnoreComment classifies raw comment text (leading "//" optional)
+// against the grammar //drlint:ignore rule[,rule...] reason. It is a pure
+// function of the text — no token positions, no package state — so the
+// fuzzer drives it directly with arbitrary bytes.
+func parseIgnoreComment(text string) (rules []string, reason string, res ignoreParse) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil, "", notIgnore
+	}
+	rest := text[len(ignorePrefix):]
+	if rest != "" {
+		if r := rest[0]; r != ' ' && r != '\t' {
+			return nil, "", notIgnore
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "", malformedIgnore
+	}
+	rules = strings.Split(fields[0], ",")
+	for _, r := range rules {
+		if r == "" {
+			return nil, "", malformedIgnore
+		}
+	}
+	return rules, strings.Join(fields[1:], " "), wellFormedIgnore
+}
+
 func (d directive) covers(rule string) bool {
 	for _, r := range d.rules {
 		if r == rule {
@@ -38,15 +83,12 @@ func parseDirectives(pkg *Package, f File, report func(Diagnostic)) []directive 
 	var out []directive
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			text = strings.TrimSpace(text)
-			if !strings.HasPrefix(text, ignorePrefix) {
+			rules, reason, res := parseIgnoreComment(c.Text)
+			if res == notIgnore {
 				continue
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-			fields := strings.Fields(rest)
 			pos := pkg.Fset.Position(c.Pos())
-			if len(fields) < 2 {
+			if res == malformedIgnore {
 				report(Diagnostic{
 					Pos:     pos,
 					Rule:    "drlint",
@@ -55,8 +97,8 @@ func parseDirectives(pkg *Package, f File, report func(Diagnostic)) []directive 
 				continue
 			}
 			out = append(out, directive{
-				rules:  strings.Split(fields[0], ","),
-				reason: strings.Join(fields[1:], " "),
+				rules:  rules,
+				reason: reason,
 				line:   pos.Line,
 				pos:    c.Pos(),
 			})

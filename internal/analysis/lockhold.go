@@ -26,6 +26,7 @@ import (
 // followed by a channel receive is exactly the bug this rule exists for.
 var LockHold = &Analyzer{
 	Name:       "lockhold",
+	Family:     "type-aware",
 	Doc:        "no blocking operations (channel ops, Wait, Sleep, I/O, or calls that block) while a sync.Mutex/RWMutex is held in internal/serve",
 	NeedsTypes: true,
 	Run:        runLockHold,

@@ -1,0 +1,15 @@
+// Package asmabi is a deliberately broken asm/stub pair exercising the
+// asmabi rule: wrong frame size, wrong argument bytes, a bad FP offset, an
+// orphan TEXT symbol, a missing TEXT directive, a missing !amd64 twin, a
+// drifted twin signature, and a dispatcher with no parity-test reference.
+package asmabi
+
+// Sum is the portable entry point; referencing every dispatcher from this
+// unconstrained file is what obliges each to exist on all architectures.
+func Sum(x []float64, v []uint32, a, b, c uint64, p *byte) float64 {
+	s := SumFloats(x)
+	s += float64(DriftTwin(a, b, c))
+	s += float64(Untested(v))
+	s += float64(MissingTwin(p))
+	return s
+}

@@ -1,0 +1,31 @@
+package asmabi // want "TEXT ·orphanKernel has no Go asm stub declaration"
+
+//go:noescape
+func sumAsm(x []float64) float64
+
+//go:noescape
+func badFrame(p *byte) uint64 // want "frame size \$16"
+
+//go:noescape
+func badArgs(a, b, c uint64) uint64 // want "declares 24 argument bytes, Go signature needs 32"
+
+//go:noescape
+func badOffset(v []uint32) uint64 // want "v_len\+16\(FP\); ABI0 offset of v_len is 8"
+
+//go:noescape
+func noText(n int) int // want "no TEXT directive"
+
+// SumFloats is referenced from unconstrained code, has a matching twin, and
+// is referenced directly from the parity test: clean.
+func SumFloats(x []float64) float64 { return sumAsm(x) }
+
+// MissingTwin is referenced from unconstrained code but only exists here.
+func MissingTwin(p *byte) uint64 { return badFrame(p) } // want "add a !amd64 twin"
+
+// DriftTwin's fallback signature diverged from this one.
+func DriftTwin(a, b, c uint64) uint64 { return badArgs(a, b, c) } // want "signature drifted"
+
+// Untested has a faithful twin but no direct parity-test reference.
+func Untested(v []uint32) uint64 { return badOffset(v) } // want "no direct parity-test reference"
+
+func archOnlyHelper(n int) int { return noText(n) }

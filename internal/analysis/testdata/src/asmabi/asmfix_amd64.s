@@ -1,0 +1,36 @@
+// Deliberately broken fixture for the asmabi rule. Never assembled — the
+// analyzer parses TEXT directives and FP references textually.
+#include "textflag.h"
+
+// sumAsm is correct on every axis: $0 frame, 32 argument bytes, FP offsets
+// matching the ABI0 layout of func sumAsm(x []float64) float64.
+TEXT ·sumAsm(SB), NOSPLIT, $0-32
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	XORPS X0, X0
+	MOVSD X0, ret+24(FP)
+	RET
+
+// badFrame claims a 16-byte frame; kernels must be $0 NOSPLIT leaves.
+TEXT ·badFrame(SB), NOSPLIT, $16-16
+	MOVQ p+0(FP), SI
+	MOVQ $0, ret+8(FP)
+	RET
+
+// badArgs under-declares the argument bytes (24 vs the 32 the three-param
+// signature needs).
+TEXT ·badArgs(SB), NOSPLIT, $0-24
+	MOVQ a+0(FP), AX
+	MOVQ AX, ret+24(FP)
+	RET
+
+// badOffset reads the slice length from the wrong word.
+TEXT ·badOffset(SB), NOSPLIT, $0-32
+	MOVQ v_base+0(FP), SI
+	MOVQ v_len+16(FP), CX
+	MOVQ $0, ret+24(FP)
+	RET
+
+// orphanKernel has no Go stub declaration at all.
+TEXT ·orphanKernel(SB), NOSPLIT, $0-8
+	RET

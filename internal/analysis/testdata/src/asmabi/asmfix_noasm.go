@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package asmabi
+
+// SumFloats is the portable twin of the amd64 dispatcher.
+func SumFloats(x []float64) float64 {
+	s := 0.0
+	for _, f := range x {
+		s += f
+	}
+	return s
+}
+
+// DriftTwin deliberately dropped a parameter relative to the amd64 side.
+func DriftTwin(a, b uint64) uint64 { return a + b }
+
+// Untested matches its amd64 signature exactly.
+func Untested(v []uint32) uint64 {
+	var s uint64
+	for _, u := range v {
+		s += uint64(u)
+	}
+	return s
+}

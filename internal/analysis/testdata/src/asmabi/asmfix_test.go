@@ -1,0 +1,12 @@
+package asmabi
+
+import "testing"
+
+// TestSumFloatsParity references SumFloats directly, which is what the
+// asmabi parity check looks for. Untested is deliberately absent here.
+func TestSumFloatsParity(t *testing.T) {
+	got := SumFloats([]float64{1, 2, 3})
+	if got != 6 {
+		t.Fatalf("SumFloats = %v, want 6", got)
+	}
+}

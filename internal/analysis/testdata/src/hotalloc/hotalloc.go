@@ -1,0 +1,96 @@
+// Package hotalloc exercises the hotalloc dataflow rule: functions
+// annotated //drlint:hotpath and their transitive module callees must not
+// allocate, while pool-backed scratch, cap-guarded growth, result
+// materialization, and crash paths stay clean.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+type scratch struct{ buf []float64 }
+
+type vec struct{ x, y float64 }
+
+var pool sync.Pool
+
+func release() {}
+
+func sink(v interface{}) { _ = v }
+
+func freshFloats(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+// dot is reached transitively from Accumulate and must stay clean too.
+func dot(a, b []float64) float64 {
+	var acc [4]float64 // fixed-size array: a value, not an allocation
+	for i := range a {
+		acc[i%4] += a[i] * b[i]
+	}
+	m := map[int]int{} // want "composite literal allocates"
+	_ = m
+	return acc[0] + acc[1] + acc[2] + acc[3]
+}
+
+// Accumulate is the annotated hot root.
+//
+//drlint:hotpath
+func Accumulate(dst, src []float64) float64 {
+	if len(dst) != len(src) {
+		// The crash path is off the hot path by definition.
+		panic(fmt.Sprintf("hotalloc: length mismatch %d != %d", len(dst), len(src)))
+	}
+	sc, _ := pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{buf: make([]float64, 0, 64)} // pool-miss refill is clean
+	}
+	if cap(sc.buf) < len(src) {
+		sc.buf = make([]float64, len(src)) // cap-guarded growth is clean
+	}
+	total := dot(dst, src)
+	tmp := make([]float64, len(src)) // want "make allocates each call"
+	_ = tmp
+	box := new(vec) // want "new allocates each call"
+	_ = box
+	lit := []int{1, 2, 3} // want "composite literal allocates"
+	_ = lit
+	ptr := &vec{x: 1} // want "composite literal allocates"
+	_ = ptr
+	v := vec{x: total}                // value composite: no allocation
+	dst = append(dst, v.x)            // want "append may grow"
+	defer release()                   // want "defer allocates"
+	add := func() { total += dst[0] } // want "closure capture of"
+	add()
+	sink(total)         // want "boxes into interface"
+	bs := []byte("key") // want "conversion copies and allocates"
+	_ = bs
+	name := strconv.Itoa(len(dst)) // want "call into strconv.Itoa may allocate"
+	_ = name
+	fresh := freshFloats(len(src)) // want "returns freshly allocated memory"
+	_ = fresh
+	pool.Put(sc)
+	return total
+}
+
+// Snapshot materializes its result: allocations flowing into the return
+// value are the caller's cost, not a hidden hot-path allocation.
+//
+//drlint:hotpath
+func Snapshot(src []float64) []float64 {
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+// Cold is unannotated and unreached from any hot root: it may allocate.
+func Cold(n int) []int {
+	tmp := make([]int, n)
+	for i := range tmp {
+		tmp[i] = i
+	}
+	return append(tmp, n)
+}

@@ -1,0 +1,13 @@
+// Package unsafeleak uses unsafe outside internal/store; the unsafelife
+// rule flags every use regardless of provenance — zero-copy
+// reinterpretation is confined to the store.
+package unsafeleak
+
+import "unsafe"
+
+// Reinterpret is the kind of cast helper that must live in internal/store.
+func Reinterpret(b []byte) []float64 {
+	p := unsafe.Pointer(&b[0]) // want "unsafe.Pointer outside internal/store"
+	n := len(b) / 8
+	return unsafe.Slice((*float64)(p), n) // want "unsafe.Slice outside internal/store"
+}

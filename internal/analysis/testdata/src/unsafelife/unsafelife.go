@@ -1,0 +1,122 @@
+// Package unsafelife exercises the unsafelife dataflow rule under the
+// pretend import path repro/internal/store: mmap-derived views must not
+// escape the region's guarded lifetime, and dereferences must be dominated
+// by the owner's reader lock.
+package unsafelife
+
+import (
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// Leaked is a package-level escape target.
+var Leaked []byte
+
+// region owns a mapped range but carries no lock of its own; only the Mmap
+// constructor may populate it.
+type region struct {
+	bytes []byte
+}
+
+// unguarded has no mutex: storing a view into it escapes the lifetime.
+type unguarded struct {
+	view []byte
+}
+
+// holder is built by wrap and retains whatever it is given.
+type holder struct {
+	view []byte
+}
+
+// Guarded owns the mapping lifetime behind a reader lock.
+type Guarded struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// mapRegion is the Mmap owner: wrapping the fresh mapping is its job.
+func mapRegion(fd, n int) (region, error) {
+	b, err := syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return region{}, err
+	}
+	return region{bytes: b}, nil
+}
+
+// castU32 reinterprets in place; its result aliases its argument, so taint
+// flows through it by summary.
+func castU32(b []byte) []uint32 {
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// wrap retains its argument in an unguarded struct.
+func wrap(b []byte) *holder {
+	return &holder{view: b}
+}
+
+// Open publishes the mapping into the guarded owner — and, wrongly, into
+// every kind of escape hatch the rule knows about.
+func Open(fd, n int) (*Guarded, error) {
+	r, err := mapRegion(fd, n)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guarded{data: r.bytes} // guarded owner: clean
+	Leaked = r.bytes             // want "package-level"
+	var u unguarded
+	u.view = r.bytes // want "no mutex guarding"
+	_ = u
+	view := r.bytes
+	go func() { // want "goroutine captures"
+		_ = view[0]
+	}()
+	return g, nil
+}
+
+// View hands the raw mapping to callers; the lock cannot protect a caller
+// that holds the slice after Close.
+func (g *Guarded) View() []byte {
+	return g.data // want "returns an mmap-backed view"
+}
+
+// Words reinterprets under the lock, but still returns the alias.
+func (g *Guarded) Words() []uint32 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return castU32(g.data) // want "returns an mmap-backed view"
+}
+
+// At indexes the view without holding the lock on any path.
+func (g *Guarded) At(i int) byte {
+	return g.data[i] // want "without the owner's reader lock"
+}
+
+// Checked locks before dereferencing: clean.
+func (g *Guarded) Checked(i int) byte {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.data[i]
+}
+
+// Sum locks and delegates; sum inherits coverage from its only caller.
+func (g *Guarded) Sum() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.sum()
+}
+
+func (g *Guarded) sum() int {
+	t := 0
+	for i := range g.data {
+		t += int(g.data[i])
+	}
+	return t
+}
+
+// publish passes the view to a retaining constructor whose result has no
+// lifetime guard.
+func (g *Guarded) publish() *holder {
+	h := wrap(g.data) // want "retained by"
+	return h
+}

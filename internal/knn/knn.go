@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/linalg"
@@ -69,9 +69,26 @@ func NewCollector(k int) *Collector {
 	return &Collector{k: k, heap: make(neighborHeap, 0, k)}
 }
 
+// Reset reinitializes the collector for a new query of capacity k,
+// retaining the heap's backing array when it is already large enough —
+// the hook that lets scan loops pool collectors across queries instead
+// of allocating one per query.
+func (c *Collector) Reset(k int) {
+	if k <= 0 {
+		panic(fmt.Sprintf("knn: collector k=%d must be positive", k))
+	}
+	c.k = k
+	if cap(c.heap) < k {
+		c.heap = make(neighborHeap, 0, k)
+	}
+	c.heap = c.heap[:0]
+}
+
 // Offer considers a candidate point. It returns true if the candidate was
 // admitted (it was closer than the current k-th best, or the collector was
 // not yet full).
+//
+//drlint:hotpath
 func (c *Collector) Offer(index int, dist float64) bool {
 	if len(c.heap) < c.k {
 		c.heap = append(c.heap, Neighbor{Index: index, Dist: dist})
@@ -122,10 +139,24 @@ func LessNeighbor(a, b Neighbor) bool {
 	return a.Index < b.Index
 }
 
+// compareNeighbor is LessNeighbor as a three-way comparison. It is a
+// named function rather than a literal so sorting on the scan hot path
+// passes a static funcval — sort.Slice's interface boxing and per-call
+// closure are what SortNeighbors is avoiding.
+func compareNeighbor(a, b Neighbor) int {
+	if LessNeighbor(a, b) {
+		return -1
+	}
+	if LessNeighbor(b, a) {
+		return 1
+	}
+	return 0
+}
+
 // SortNeighbors sorts a neighbor list in the canonical (distance, index)
-// order.
+// order without allocating.
 func SortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool { return LessNeighbor(ns[i], ns[j]) })
+	slices.SortFunc(ns, compareNeighbor)
 }
 
 // Results returns the collected neighbors sorted by ascending distance

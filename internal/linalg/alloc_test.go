@@ -1,0 +1,38 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDotQ15ZeroAllocs pins the //drlint:hotpath contract of the exported
+// integer-dot wrappers at runtime: validation, dispatch, and both kernel
+// paths (assembly head + scalar tail, or all-generic) run without heap
+// allocations — these are the innermost calls of the quantized scan, hit
+// hundreds of times per block.
+func TestDotQ15ZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	const d, pad = 166, 10
+	stride := d + pad
+	u := randCodesQ15(rng, d)
+	c8 := randCodesU8(rng, d)
+	c16 := randCodesU16(rng, d)
+	rows8 := randCodesU8(rng, 7*stride+d)
+	rows16 := randCodesU16(rng, 3*stride+d)
+	var out4 [4]int64
+	var out8 [8]int64
+	var sink int64
+
+	for name, call := range map[string]func(){
+		"DotQ15U8":    func() { sink += DotQ15U8(u, c8) },
+		"DotQ15U16":   func() { sink += DotQ15U16(u, c16) },
+		"DotQ15U8x4":  func() { DotQ15U8x4(u, rows8, stride, &out4) },
+		"DotQ15U16x4": func() { DotQ15U16x4(u, rows16, stride, &out4) },
+		"DotQ15U8x8":  func() { DotQ15U8x8(u, rows8, stride, &out8) },
+	} {
+		if avg := testing.AllocsPerRun(500, call); avg != 0 {
+			t.Errorf("%s does %.2f allocs/op, want 0", name, avg)
+		}
+	}
+	_ = sink
+}

@@ -37,6 +37,8 @@ const MaxQ15 = 32767
 // kernel on capable amd64 hardware; assembly and the portable fallback
 // are bit-identical because the sum is exact integer arithmetic.
 // Supported up to len(u) = 2²⁰ dimensions (i64 never overflows there).
+//
+//drlint:hotpath
 func DotQ15U8(u []uint16, c []uint8) int64 {
 	if len(u) != len(c) {
 		panic(fmt.Sprintf("linalg: DotQ15U8 length mismatch %d vs %d", len(u), len(c)))
@@ -47,6 +49,8 @@ func DotQ15U8(u []uint16, c []uint8) int64 {
 // DotQ15U16 is DotQ15U8 for uint16 data codes (int16-precision scalar
 // quantization). Supported up to len(u) = 65536 dimensions (the in-kernel
 // i32 code-sum accumulator bounds it).
+//
+//drlint:hotpath
 func DotQ15U16(u []uint16, c []uint16) int64 {
 	if len(u) != len(c) {
 		panic(fmt.Sprintf("linalg: DotQ15U16 length mismatch %d vs %d", len(u), len(c)))
@@ -58,6 +62,8 @@ func DotQ15U16(u []uint16, c []uint16) int64 {
 // for r ∈ {0,1,2,3}. The assembly body loads each 16-code query chunk once
 // and applies it to all four rows, amortizing query-side loads across the
 // block-major code layout of the store scan. out is fully overwritten.
+//
+//drlint:hotpath
 func DotQ15U8x4(u []uint16, rows []uint8, stride int, out *[4]int64) {
 	if stride < len(u) {
 		panic(fmt.Sprintf("linalg: DotQ15U8x4 stride %d < dim %d", stride, len(u)))
@@ -74,6 +80,8 @@ func DotQ15U8x4(u []uint16, rows []uint8, stride int, out *[4]int64) {
 // streaming scan needs to approach the machine's bandwidth — use it for
 // long sequential sweeps, the ×4 form for short or irregular ones. out
 // is fully overwritten; results are bit-identical to eight unitary dots.
+//
+//drlint:hotpath
 func DotQ15U8x8(u []uint16, rows []uint8, stride int, out *[8]int64) {
 	if stride < len(u) {
 		panic(fmt.Sprintf("linalg: DotQ15U8x8 stride %d < dim %d", stride, len(u)))
@@ -86,6 +94,8 @@ func DotQ15U8x8(u []uint16, rows []uint8, stride int, out *[8]int64) {
 
 // DotQ15U16x4 is DotQ15U8x4 for uint16 data codes. stride is in codes
 // (uint16 elements), not bytes.
+//
+//drlint:hotpath
 func DotQ15U16x4(u []uint16, rows []uint16, stride int, out *[4]int64) {
 	if stride < len(u) {
 		panic(fmt.Sprintf("linalg: DotQ15U16x4 stride %d < dim %d", stride, len(u)))

@@ -291,3 +291,45 @@ func BenchmarkDotQ15U16x4_166(b *testing.B) {
 }
 
 var benchSinkInt int64
+
+// The multi-row unitary dispatchers (the asm stubs' Go-side entry points)
+// must match their generic twins exactly with the dispatch flag forced
+// off — the parity contract asmabi requires every assembly dispatcher to
+// pin with a direct test reference.
+func TestDotQ15x4UnitaryForcedGenericParity(t *testing.T) {
+	forceGeneric(t)
+	rng := rand.New(rand.NewSource(131))
+	for _, d := range intParityDims {
+		stride := d + 3
+		u := randCodesQ15(rng, d)
+		rows8 := randCodesU8(rng, 3*stride+d)
+		rows16 := randCodesU16(rng, 3*stride+d)
+		var got8, want8, got16, want16 [4]int64
+		dotQ15U8x4Unitary(u, rows8, stride, &got8)
+		dotQ15U8x4Generic(u, rows8, stride, &want8)
+		dotQ15U16x4Unitary(u, rows16, stride, &got16)
+		dotQ15U16x4Generic(u, rows16, stride, &want16)
+		if got8 != want8 {
+			t.Fatalf("d=%d: forced-generic dotQ15U8x4Unitary=%v, generic=%v", d, got8, want8)
+		}
+		if got16 != want16 {
+			t.Fatalf("d=%d: forced-generic dotQ15U16x4Unitary=%v, generic=%v", d, got16, want16)
+		}
+	}
+}
+
+func TestDotQ15x8UnitaryForcedGenericParity(t *testing.T) {
+	forceGeneric(t)
+	rng := rand.New(rand.NewSource(137))
+	for _, d := range intParityDims {
+		stride := d + 3
+		u := randCodesQ15(rng, d)
+		rows := randCodesU8(rng, 7*stride+d)
+		var got, want [8]int64
+		dotQ15U8x8Unitary(u, rows, stride, &got)
+		dotQ15U8x8Generic(u, rows, stride, &want)
+		if got != want {
+			t.Fatalf("d=%d: forced-generic dotQ15U8x8Unitary=%v, generic=%v", d, got, want)
+		}
+	}
+}

@@ -337,16 +337,23 @@ func (e *Engine) Close() {
 	e.shardWorkers.Wait()
 }
 
-// requestWorker drains the admission queue until Close.
+// requestWorker drains the admission queue until Close. It owns one
+// reusable fan-out channel sized to the configured shard maximum (Swap
+// only ever clamps the shard count down), so per-request handling does
+// not allocate a fresh channel: handle fully drains it before returning,
+// leaving it empty for the next request.
 func (e *Engine) requestWorker() {
 	defer e.workers.Done()
+	out := make(chan shardOut, e.cfg.Shards)
 	for req := range e.queue {
-		e.handle(req)
+		e.handle(req, out)
 	}
 }
 
 // handle fans one admitted request over the shard pool and merges.
-func (e *Engine) handle(req *request) {
+//
+//drlint:hotpath
+func (e *Engine) handle(req *request, out chan shardOut) {
 	if err := req.ctx.Err(); err != nil {
 		// Expired while queued: reject without scanning. The caller has
 		// usually already returned ErrDeadline from its own ctx.Done arm;
@@ -363,7 +370,6 @@ func (e *Engine) handle(req *request) {
 	wait := time.Since(req.admitted)
 	approx := req.mode == ModeApprox || (req.mode == ModeAuto && req.degraded)
 
-	out := make(chan shardOut, len(snap.shards))
 	for _, sh := range snap.shards {
 		e.shardq <- shardTask{
 			sh:     sh,
@@ -397,7 +403,10 @@ func (e *Engine) handle(req *request) {
 }
 
 // shardWorker executes per-shard scans until Close.
+//
+//drlint:hotpath
 func (e *Engine) shardWorker() {
+	//drlint:ignore hotalloc one deferred frame per worker lifetime, not per task; Close relies on it to join the pool
 	defer e.shardWorkers.Done()
 	for t := range e.shardq {
 		t.sh.tasks.Add(1)

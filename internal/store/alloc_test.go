@@ -1,0 +1,34 @@
+package store
+
+import "testing"
+
+// TestScanHotPathZeroAllocs pins the //drlint:hotpath contract at
+// runtime: with the plan, scratch, and collector pools warm, one full
+// phase-1 sweep — plan construction, quantization, the blocked ×4/×8
+// kernel scan with prefix early-abandon, and collector admission — does
+// zero heap allocations. This is the exact code path hotalloc verifies
+// statically; the two must agree, and a regression in either flags the
+// same commit.
+func TestScanHotPathZeroAllocs(t *testing.T) {
+	data, queries := testData(t, 2000, 4, 64, 61)
+	for name, cfg := range map[string]BuildConfig{
+		"int8":  {Precision: Int8},
+		"int16": {Precision: Int16, FullDims: 4},
+	} {
+		s := buildStore(t, data, cfg)
+		q := queries.RawRow(0)
+		for i := 0; i < 3; i++ {
+			s.Search(q, 10, 100) // warm pools and page cache
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			p := s.getPlan(q)
+			c := s.getCollector(100)
+			s.scanSegment(p, 0, s.l.n, c)
+			s.putCollector(c)
+			s.putPlan(p)
+		})
+		if avg != 0 {
+			t.Errorf("%s: warm phase-1 scan does %.1f allocs/op, want 0 (hotalloc contract)", name, avg)
+		}
+	}
+}

@@ -71,10 +71,13 @@ type Store struct {
 	// prefix lower bounds.
 	snormMean float64
 
-	// planPool and scratchPool recycle per-query plans and per-segment
-	// block buffers so the serving hot path does not allocate.
+	// planPool, scratchPool, collPool, and parPool recycle per-query
+	// plans, per-segment block buffers, candidate collectors, and
+	// parallel fan-out state so the serving hot path does not allocate.
 	planPool    sync.Pool
 	scratchPool sync.Pool
+	collPool    sync.Pool
+	parPool     sync.Pool
 
 	// mu guards the mapping's lifetime: searches hold the read lock, Close
 	// takes the write lock, so the pages can never vanish under a scan.
@@ -142,6 +145,7 @@ func Open(path string) (*Store, error) {
 	if l.prec == Int16 {
 		s.codes16 = castU16(s.codes)
 	}
+	//drlint:ignore unsafelife exactMat lives inside Store, whose mu gates every read against Close unmapping
 	s.exactMat = linalg.NewDenseData(l.n, l.d, s.exact)
 	s.buildScanCaches()
 	// Phase-2 rescores fault scattered exact rows; without this hint the
@@ -311,10 +315,16 @@ func (s *Store) PrefixDims() int { return s.prefDims }
 // ExactMatrix returns a zero-copy Dense view over the full-precision
 // region (row-major, original dimension order). Reading it faults pages in
 // on demand; it is how ground-truth computations run over a store without
-// a second copy of the data.
+// a second copy of the data. The view is only valid until Close; callers
+// that need to outlive the store must copy.
+//
+//drlint:ignore unsafelife documented zero-copy escape hatch; valid until Close by contract
 func (s *Store) ExactMatrix() *linalg.Dense { return s.exactMat }
 
-// ExactRow returns the full-precision float64 row i (zero-copy).
+// ExactRow returns the full-precision float64 row i (zero-copy, valid
+// until Close).
+//
+//drlint:ignore unsafelife documented zero-copy escape hatch; valid until Close by contract
 func (s *Store) ExactRow(i int) []float64 { return s.exactMat.RawRow(i) }
 
 // DequantRow reconstructs point i from its stored representation (float32

@@ -187,6 +187,35 @@ func (s *Store) getScratch() *scanScratch {
 	return sc
 }
 
+// getCollector returns a pooled candidate collector reset to capacity
+// budget; steady-state searches reuse heap backing arrays instead of
+// allocating one per query.
+func (s *Store) getCollector(budget int) *knn.Collector {
+	c, _ := s.collPool.Get().(*knn.Collector)
+	if c == nil {
+		c = knn.NewCollector(budget)
+	}
+	c.Reset(budget)
+	return c
+}
+
+func (s *Store) putCollector(c *knn.Collector) { s.collPool.Put(c) }
+
+// parScratch is the pooled fan-out state of one scanParallel call: the
+// join group and the per-segment collector list, reused across queries.
+type parScratch struct {
+	wg    sync.WaitGroup
+	colls []*knn.Collector
+}
+
+func (s *Store) getPar() *parScratch {
+	ps, _ := s.parPool.Get().(*parScratch)
+	if ps == nil {
+		ps = &parScratch{}
+	}
+	return ps
+}
+
 // scanBlockFull scores rows [base, end) with the ×4 kernels into the flat
 // scratch buffer, then offers only entries below the collector's bound.
 // Offer admits exactly the candidates with dist < Bound(), so the
@@ -333,6 +362,8 @@ const warmupBlocks = 32
 // full mode for prefixHoldoffBlocks before re-probing. The two block
 // kinds admit identical candidates, so this scheduling is invisible in
 // the results — it is purely a bandwidth/ALU trade.
+//
+//drlint:hotpath
 func (s *Store) scanSegment(p *plan, lo, hi int, c *knn.Collector) {
 	sc := s.getScratch()
 	usePrefix := s.prefDims > 0
@@ -370,6 +401,8 @@ func (s *Store) scanSegment(p *plan, lo, hi int, c *knn.Collector) {
 // under the canonical (distance, index) order. rescore < k is treated as
 // k; rescore ≥ Len() makes the result bit-identical to exact search (every
 // point is admitted and exactly scored).
+//
+//drlint:hotpath
 func (s *Store) Search(q []float64, k, rescore int) []knn.Neighbor {
 	res, _ := s.SearchRange(q, 0, s.l.n, k, rescore)
 	return res
@@ -390,8 +423,11 @@ func (s *Store) SearchRange(q []float64, lo, hi, k, rescore int) ([]knn.Neighbor
 // points precede it in that total order, regardless of segmentation — so
 // results are bit-identical for every worker count. Worker counts beyond
 // what minSegmentRows-sized slices of [lo, hi) can occupy are clamped.
+//
+//drlint:hotpath
 func (s *Store) SearchRangeWorkers(q []float64, lo, hi, k, rescore, workers int) ([]knn.Neighbor, int) {
 	s.mu.RLock()
+	//drlint:ignore hotalloc one deferred frame per query guards the mapping against Close on every panic path; not per-point cost
 	defer s.mu.RUnlock()
 	if s.closed {
 		panic("store: search on closed store")
@@ -422,9 +458,10 @@ func (s *Store) SearchRangeWorkers(q []float64, lo, hi, k, rescore, workers int)
 	p := s.getPlan(q)
 	var cand []knn.Neighbor
 	if workers <= 1 {
-		c := knn.NewCollector(budget)
+		c := s.getCollector(budget)
 		s.scanSegment(p, lo, hi, c)
 		cand = c.Results()
+		s.putCollector(c)
 	} else {
 		cand = s.scanParallel(p, lo, hi, budget, workers)
 	}
@@ -462,28 +499,36 @@ func (s *Store) SearchRangeWorkers(q []float64, lo, hi, k, rescore, workers int)
 // collectors and merges under the canonical order. The segment collectors
 // each carry the full budget: a merged-then-truncated candidate set is
 // then provably the global budget-smallest set under (dist, index).
+// Fan-out state (collectors, join group) is pooled, and the workers run a
+// named method rather than a capturing literal, so the parallel path
+// stays allocation-free apart from the goroutines themselves.
 func (s *Store) scanParallel(p *plan, lo, hi, budget, workers int) []knn.Neighbor {
 	seg := (hi - lo + workers - 1) / workers
-	collectors := make([]*knn.Collector, 0, workers)
-	var wg sync.WaitGroup
+	ps := s.getPar()
+	if cap(ps.colls) < workers {
+		ps.colls = make([]*knn.Collector, 0, workers)
+	}
 	for a := lo; a < hi; a += seg {
 		b := a + seg
 		if b > hi {
 			b = hi
 		}
-		c := knn.NewCollector(budget)
-		collectors = append(collectors, c)
-		wg.Add(1)
-		go func(a, b int, c *knn.Collector) {
-			defer wg.Done()
-			s.scanSegment(p, a, b, c)
-		}(a, b, c)
+		c := s.getCollector(budget)
+		ps.colls = append(ps.colls, c)
+		ps.wg.Add(1)
+		go s.segmentWorker(ps, p, a, b, c)
 	}
-	wg.Wait()
+	ps.wg.Wait()
 	var all []knn.Neighbor
-	for _, c := range collectors {
+	for _, c := range ps.colls {
 		all = append(all, c.Results()...)
 	}
+	for i, c := range ps.colls {
+		s.putCollector(c)
+		ps.colls[i] = nil
+	}
+	ps.colls = ps.colls[:0]
+	s.parPool.Put(ps)
 	knn.SortNeighbors(all)
 	if len(all) > budget {
 		all = all[:budget]
@@ -491,10 +536,23 @@ func (s *Store) scanParallel(p *plan, lo, hi, budget, workers int) []knn.Neighbo
 	return all
 }
 
+// segmentWorker is one goroutine of an intra-query parallel sweep.
+// Done is called directly rather than deferred: scanSegment's only exits
+// are normal return and index-out-of-range style programming-error
+// panics that crash the process anyway, and skipping the defer keeps the
+// worker frame off the hot path's allocation budget.
+func (s *Store) segmentWorker(ps *parScratch, p *plan, lo, hi int, c *knn.Collector) {
+	s.scanSegment(p, lo, hi, c)
+	ps.wg.Done()
+}
+
 // SearchBatch runs Search for every row of queries, parallelized over up
 // to GOMAXPROCS goroutines (queries are independent, so per-query scans
 // stay sequential here — inter-query parallelism already saturates the
-// cores).
+// cores). Per-query state rides the store's pools; the only per-batch
+// allocations are the result slice itself and the worker goroutines.
+//
+//drlint:hotpath
 func (s *Store) SearchBatch(queries *linalg.Dense, k, rescore int) [][]knn.Neighbor {
 	if queries.Cols() != s.l.d {
 		panic(fmt.Sprintf("store: queries have %d dims, store has %d", queries.Cols(), s.l.d))
@@ -519,15 +577,21 @@ func (s *Store) SearchBatch(queries *linalg.Dense, k, rescore int) [][]knn.Neigh
 			hi = nq
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = s.Search(queries.RawRow(i), k, rescore)
-			}
-		}(lo, hi)
+		go s.batchWorker(&wg, queries, out, lo, hi, k, rescore)
 	}
 	wg.Wait()
 	return out
+}
+
+// batchWorker answers queries [lo, hi) of a SearchBatch fan-out. Done is
+// called directly, not deferred, for the same reason as segmentWorker:
+// the only non-returning exits are process-fatal panics, and the hot
+// path's allocation budget excludes deferred frames.
+func (s *Store) batchWorker(wg *sync.WaitGroup, queries *linalg.Dense, out [][]knn.Neighbor, lo, hi, k, rescore int) {
+	for i := lo; i < hi; i++ {
+		out[i] = s.Search(queries.RawRow(i), k, rescore)
+	}
+	wg.Done()
 }
 
 // DropExactPages hints the kernel to evict the full-precision region from
