@@ -10,8 +10,11 @@ import (
 
 // This file exposes the concurrent serving layer: a sharded query engine
 // over the exact batch-distance path and the approximate LSH path, with
-// admission control, atomic snapshot swaps and a closed-loop load
-// generator. `drtool -serve-bench` is the CLI front end.
+// admission control, atomic snapshot swaps, a live mutation path
+// (Engine.Insert/Delete/Compact with delta buffers, tombstones and a
+// background compactor) and closed-loop load generators for both pure-read
+// and mixed read/write workloads. `drtool -serve-bench` and
+// `drtool -serve-mutate` are the CLI front ends.
 
 // Engine is a sharded, concurrent k-NN query engine. Data is partitioned
 // into shards, each with its own cached norms and LSH tables; queries fan
@@ -44,14 +47,16 @@ const (
 type EngineStats = serve.EngineStats
 
 // Typed serving errors: admission control rejects with ErrOverloaded when
-// the request queue is full; ErrDeadline wraps context expiry; ErrClosed
-// marks requests after Close; ErrDims marks query/engine dimension
-// mismatches.
+// the request queue is full (or the insert delta backlog is at its cap);
+// ErrDeadline wraps context expiry; ErrClosed marks requests after Close;
+// ErrDims marks query/engine dimension mismatches; ErrUnknownID marks
+// deletes of IDs not in the served set.
 var (
 	ErrOverloaded = serve.ErrOverloaded
 	ErrDeadline   = serve.ErrDeadline
 	ErrClosed     = serve.ErrClosed
 	ErrDims       = serve.ErrDims
+	ErrUnknownID  = serve.ErrUnknownID
 )
 
 // NewEngine builds a sharded engine over the rows of data.
@@ -77,6 +82,41 @@ type LoadReport = serve.LoadReport
 // deadlines derive from ctx, so cancelling it winds down the fleet.
 func RunLoad(ctx context.Context, e *Engine, queries *linalg.Dense, cfg LoadConfig) (LoadReport, error) {
 	return serve.RunLoad(ctx, e, queries, cfg)
+}
+
+// DriftConfig enables streaming-PCA drift tracking of an engine's mutation
+// stream (ServeConfig.Drift): when the frozen basis's captured energy
+// decays below the threshold, the engine forces a re-projection compaction
+// and refits the basis.
+type DriftConfig = serve.DriftConfig
+
+// MutateConfig parameterizes RunMutateLoad: total operations, closed-loop
+// client count, write fraction, neighbor count, per-op deadline, read mode
+// and the RNG seed behind the op mix.
+type MutateConfig = serve.MutateConfig
+
+// MutateReport is the outcome accounting of one RunMutateLoad. Lost,
+// Duplicated, DeletedIDHits and StaleAcks must all be zero on a correct
+// engine.
+type MutateReport = serve.MutateReport
+
+// LiveSet is the ground-truth surviving state after a mutation run: stable
+// IDs (ascending) and their vectors, row-aligned.
+type LiveSet = serve.LiveSet
+
+// RunMutateLoad drives an engine with a mixed read/write workload — k-NN
+// reads interleaved with inserts and deletes — checking read-your-writes
+// visibility and deleted-ID invisibility inline, and returns the surviving
+// ground truth for VerifyMutated.
+func RunMutateLoad(ctx context.Context, e *Engine, base, queries *linalg.Dense, cfg MutateConfig) (MutateReport, LiveSet, error) {
+	return serve.RunMutateLoad(ctx, e, base, queries, cfg)
+}
+
+// VerifyMutated holds a quiesced engine to the bit-identity contract
+// against the post-mutation ground truth: exact top-k must equal a
+// from-scratch rebuild over the surviving rows, bit for bit.
+func VerifyMutated(ctx context.Context, e *Engine, live LiveSet, queries *linalg.Dense, k, sample int) error {
+	return serve.VerifyMutated(ctx, e, live, queries, k, sample)
 }
 
 // MuskLikeConfig is the generator configuration behind MuskLike with N left

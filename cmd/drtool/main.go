@@ -12,10 +12,23 @@
 //	       [-serve-shards P] [-serve-workers W] [-serve-queue Q] [-serve-qps R]
 //	       [-serve-deadline MS] [-serve-mode auto|exact|approx] [-serve-verify N]
 //	       [-serve-seed S] [-serve-out report.json]
+//	drtool -serve-mutate [-in data.csv] [-serve-mutate-ops N] [-serve-mutate-write F]
+//	       [-serve-mutate-compact-at W] [-serve-concurrency C] [-neighbors K]
+//	       [-serve-shards P] [-serve-mode auto|exact|approx] [-serve-deadline MS]
+//	       [-serve-seed S] [-serve-mutate-out report.json]
 //	drtool -store-bench [-store path.qvs] [-store-n N] [-store-d D]
 //	       [-store-prec int8|int16] [-store-full F] [-store-queries Q]
 //	       [-store-rescore R] [-store-verify N] [-store-requests N]
 //	       [-store-seed S] [-store-out report.json]
+//
+// -serve-mutate drives the sharded engine with a mixed read/write workload:
+// closed-loop clients interleave k-NN reads with inserts and deletes while
+// background compactions fold the accumulated deltas and tombstones into
+// fresh snapshot generations. The run fails unless every op completes
+// exactly once, every acknowledged insert is visible to later reads, no
+// deleted ID is ever returned, at least one compaction installed mid-run,
+// and the quiesced engine's exact results are bit-identical to a
+// from-scratch rebuild over the surviving rows.
 //
 // -store-bench stream-builds a quantized vector store over the musk-like
 // distribution at the requested scale (reusing the file if it exists),
@@ -75,6 +88,12 @@ type options struct {
 	serveSeed        int64
 	serveOut         string
 
+	serveMutate          bool
+	serveMutateOps       int
+	serveMutateWrite     float64
+	serveMutateCompactAt int
+	serveMutateOut       string
+
 	storeBench     bool
 	storePath      string
 	storeN         int
@@ -121,6 +140,11 @@ func main() {
 	flag.IntVar(&o.serveVerify, "serve-verify", 64, "serve-bench: queries checked bit-identical to SearchSetBatch")
 	flag.Int64Var(&o.serveSeed, "serve-seed", 1, "serve-bench: workload and LSH seed")
 	flag.StringVar(&o.serveOut, "serve-out", "", "serve-bench: write a JSON report here (e.g. BENCH_serve.json)")
+	flag.BoolVar(&o.serveMutate, "serve-mutate", false, "drive the engine with a mixed read/write workload (inserts, deletes, compactions) and verify the survivors bit-identical to a rebuild")
+	flag.IntVar(&o.serveMutateOps, "serve-mutate-ops", 10000, "serve-mutate: total operations (reads + writes)")
+	flag.Float64Var(&o.serveMutateWrite, "serve-mutate-write", 0.10, "serve-mutate: write fraction in [0,1] (split between inserts and deletes)")
+	flag.IntVar(&o.serveMutateCompactAt, "serve-mutate-compact-at", 256, "serve-mutate: pending-mutation watermark that triggers background compaction")
+	flag.StringVar(&o.serveMutateOut, "serve-mutate-out", "", "serve-mutate: write a JSON report here (e.g. BENCH_serve.json)")
 	flag.BoolVar(&o.storeBench, "store-bench", false, "build, serve and bench a quantized vector store on the musk-like workload")
 	flag.StringVar(&o.storePath, "store", "", "store-bench: store file path (reused if it exists; empty = temp file)")
 	flag.IntVar(&o.storeN, "store-n", 1_000_000, "store-bench: data points")
@@ -146,6 +170,13 @@ func main() {
 	}
 	if o.serveBench {
 		if err := runServeBench(context.Background(), os.Stdout, o); err != nil {
+			fmt.Fprintf(os.Stderr, "drtool: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if o.serveMutate {
+		if err := runServeMutate(context.Background(), os.Stdout, o); err != nil {
 			fmt.Fprintf(os.Stderr, "drtool: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	repro "repro"
+)
+
+// serveMutateReport is the JSON record `-serve-mutate-out` writes: the
+// workload shape, the read/write outcome accounting, the four invariant
+// counters (all must be zero), the compaction evidence, and the final
+// bit-identity verdict against a from-scratch rebuild over the survivors.
+type serveMutateReport struct {
+	Dataset       string  `json:"dataset"`
+	N             int     `json:"n"`
+	Dims          int     `json:"dims"`
+	K             int     `json:"k"`
+	Mode          string  `json:"mode"`
+	Shards        int     `json:"shards"`
+	Ops           int     `json:"ops"`
+	Concurrency   int     `json:"concurrency"`
+	WriteFraction float64 `json:"write_fraction"`
+	CompactAt     int     `json:"compact_at"`
+
+	Reads            int `json:"reads"`
+	Inserts          int `json:"inserts"`
+	Deletes          int `json:"deletes"`
+	Overloaded       int `json:"overloaded"`
+	DeadlineExceeded int `json:"deadline_exceeded"`
+	UnknownID        int `json:"unknown_id"`
+	OtherErrors      int `json:"other_errors"`
+
+	Lost          int `json:"lost"`
+	Duplicated    int `json:"duplicated"`
+	DeletedIDHits int `json:"deleted_id_hits"`
+	StaleAcks     int `json:"stale_acks"`
+
+	Compactions uint64 `json:"compactions"`
+	Epoch       uint64 `json:"epoch"`
+	FinalRows   int    `json:"final_rows"`
+
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	Throughput   float64 `json:"throughput_ops"`
+	LatencyP50US float64 `json:"latency_p50_us"`
+	LatencyP99US float64 `json:"latency_p99_us"`
+
+	VerifiedQueries int  `json:"verified_queries"`
+	BitIdentical    bool `json:"bit_identical"`
+}
+
+// runServeMutate is the `drtool -serve-mutate` entry point: build the
+// engine over the workload, drive it with the mixed read/write load
+// generator (background compactions enabled), require the mutation
+// invariants and at least one mid-run compaction, then quiesce and verify
+// the survivors bit-identical to a from-scratch rebuild.
+func runServeMutate(ctx context.Context, w io.Writer, o options) error {
+	data, queries, name, err := serveBenchData(o)
+	if err != nil {
+		return err
+	}
+
+	mode := repro.ModeAuto
+	switch o.serveMode {
+	case "", "auto":
+	case "exact":
+		mode = repro.ModeExact
+	case "approx":
+		mode = repro.ModeApprox
+	default:
+		return fmt.Errorf("unknown -serve-mode %q (auto, exact or approx)", o.serveMode)
+	}
+	if o.neighbors < 1 {
+		return fmt.Errorf("-neighbors %d must be positive", o.neighbors)
+	}
+	if o.serveMutateWrite < 0 || o.serveMutateWrite > 1 {
+		return fmt.Errorf("-serve-mutate-write %v must be in [0,1]", o.serveMutateWrite)
+	}
+
+	cfg := repro.ServeConfig{
+		Shards:     o.serveShards,
+		Workers:    o.serveWorkers,
+		QueueDepth: o.serveQueue,
+		Probes:     o.probes,
+		CompactAt:  o.serveMutateCompactAt,
+		LSH:        repro.LSHConfig{Tables: o.tables, Seed: o.serveSeed},
+	}
+	e, err := repro.NewEngine(data, cfg)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+
+	fmt.Fprintf(w, "serve-mutate: %s n=%d d=%d, %d shards, compact-at %d\n",
+		name, data.Rows(), data.Cols(), e.Shards(), o.serveMutateCompactAt)
+
+	mcfg := repro.MutateConfig{
+		Ops:           o.serveMutateOps,
+		Concurrency:   o.serveConcurrency,
+		WriteFraction: o.serveMutateWrite,
+		K:             o.neighbors,
+		Deadline:      time.Duration(o.serveDeadlineMS * float64(time.Millisecond)),
+		Mode:          mode,
+		Seed:          o.serveSeed,
+	}
+	rep, live, err := repro.RunMutateLoad(ctx, e, data, queries, mcfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "load: %d ops, concurrency %d, write fraction %.2f, mode %s\n",
+		rep.Ops, rep.Concurrency, rep.WriteFraction, rep.Mode)
+	fmt.Fprintf(w, "  reads %d, inserts %d, deletes %d\n", rep.Reads, rep.Inserts, rep.Deletes)
+	fmt.Fprintf(w, "  rejected: overloaded %d, deadline %d, unknown-id %d, other %d\n",
+		rep.Overloaded, rep.DeadlineExceeded, rep.UnknownID, rep.OtherErrors)
+	fmt.Fprintf(w, "  invariants: lost %d, duplicated %d, deleted-id hits %d, stale acks %d\n",
+		rep.Lost, rep.Duplicated, rep.DeletedIDHits, rep.StaleAcks)
+	fmt.Fprintf(w, "  compactions %d (epoch %d), %d rows surviving\n", rep.Compactions, rep.Epoch, rep.FinalRows)
+	fmt.Fprintf(w, "  elapsed %v, %.0f ops/s\n", rep.Elapsed.Round(time.Millisecond), rep.Throughput)
+
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		return fmt.Errorf("serve-mutate: %d lost and %d duplicated operations", rep.Lost, rep.Duplicated)
+	}
+	if rep.DeletedIDHits != 0 {
+		return fmt.Errorf("serve-mutate: deleted IDs returned to readers %d times", rep.DeletedIDHits)
+	}
+	if rep.StaleAcks != 0 {
+		return fmt.Errorf("serve-mutate: %d acknowledged inserts invisible to later reads", rep.StaleAcks)
+	}
+	if rep.UnknownID != 0 || rep.OtherErrors != 0 {
+		return fmt.Errorf("serve-mutate: %d unknown-id and %d untyped errors", rep.UnknownID, rep.OtherErrors)
+	}
+	st := e.Stats()
+	if st.Compactions == 0 && o.serveMutateCompactAt >= 0 {
+		// The watermark trigger is asynchronous: on a short run the load can
+		// finish while the triggered background compactor is still building.
+		// Its install is part of the run's work, so join it (bounded) before
+		// judging whether the mid-run compaction requirement held.
+		deadline := time.Now().Add(10 * time.Second)
+		for st.Compactions == 0 && st.DeltaRows+st.Tombstones >= o.serveMutateCompactAt && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			st = e.Stats()
+		}
+	}
+	if st.Compactions == 0 {
+		return fmt.Errorf("serve-mutate: no compaction ran mid-load (lower -serve-mutate-compact-at or raise the write fraction)")
+	}
+
+	// Quiesce: fold every pending mutation, then hold the engine to
+	// bit-identity against a from-scratch rebuild over the survivors.
+	if _, err := e.Compact(ctx); err != nil {
+		return fmt.Errorf("serve-mutate: final compaction: %w", err)
+	}
+	nVerify := o.serveVerify
+	if nVerify > queries.Rows() {
+		nVerify = queries.Rows()
+	}
+	identical := true
+	if nVerify > 0 {
+		if err := repro.VerifyMutated(ctx, e, live, queries, o.neighbors, nVerify); err != nil {
+			identical = false
+			fmt.Fprintf(w, "verification FAILED: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "verified %d queries bit-identical to a rebuild over %d survivors\n",
+				nVerify, len(live.IDs))
+		}
+	}
+
+	st = e.Stats()
+	fmt.Fprintf(w, "  latency p50 %v, p99 %v\n", st.LatencyP50, st.LatencyP99)
+
+	if o.serveMutateOut != "" {
+		js := serveMutateReport{
+			Dataset:          name,
+			N:                data.Rows(),
+			Dims:             data.Cols(),
+			K:                o.neighbors,
+			Mode:             rep.Mode,
+			Shards:           e.Shards(),
+			Ops:              rep.Ops,
+			Concurrency:      rep.Concurrency,
+			WriteFraction:    rep.WriteFraction,
+			CompactAt:        o.serveMutateCompactAt,
+			Reads:            rep.Reads,
+			Inserts:          rep.Inserts,
+			Deletes:          rep.Deletes,
+			Overloaded:       rep.Overloaded,
+			DeadlineExceeded: rep.DeadlineExceeded,
+			UnknownID:        rep.UnknownID,
+			OtherErrors:      rep.OtherErrors,
+			Lost:             rep.Lost,
+			Duplicated:       rep.Duplicated,
+			DeletedIDHits:    rep.DeletedIDHits,
+			StaleAcks:        rep.StaleAcks,
+			Compactions:      st.Compactions,
+			Epoch:            st.Epoch,
+			FinalRows:        rep.FinalRows,
+			ElapsedMS:        float64(rep.Elapsed) / float64(time.Millisecond),
+			Throughput:       rep.Throughput,
+			LatencyP50US:     float64(st.LatencyP50) / float64(time.Microsecond),
+			LatencyP99US:     float64(st.LatencyP99) / float64(time.Microsecond),
+			VerifiedQueries:  nVerify,
+			BitIdentical:     identical,
+		}
+		f, err := os.Create(o.serveMutateOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(js); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.serveMutateOut)
+	}
+	if !identical {
+		return fmt.Errorf("serve-mutate: engine diverged from the from-scratch rebuild")
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// serveMutateOptions is a CI-sized mutation workload: enough writes over a
+// low compaction watermark that several compactions install mid-run.
+func serveMutateOptions() options {
+	return options{
+		labelCol:             -1,
+		neighbors:            5,
+		probes:               16,
+		serveMutate:          true,
+		serveMutateOps:       1200,
+		serveMutateWrite:     0.30,
+		serveMutateCompactAt: 64,
+		serveConcurrency:     8,
+		serveVerify:          8,
+		serveMode:            "auto",
+		serveSeed:            1,
+	}
+}
+
+func TestServeMutateSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mutate.json")
+	o := serveMutateOptions()
+	o.serveMutateOut = out
+	var buf bytes.Buffer
+	if err := runServeMutate(context.Background(), &buf, o); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "bit-identical to a rebuild") {
+		t.Fatalf("missing verification verdict in output:\n%s", buf.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveMutateReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 6598 || rep.Dims != 166 {
+		t.Fatalf("workload %dx%d, want 6598x166", rep.N, rep.Dims)
+	}
+	if !rep.BitIdentical || rep.VerifiedQueries != 8 {
+		t.Fatalf("verification: identical=%v over %d queries", rep.BitIdentical, rep.VerifiedQueries)
+	}
+	if rep.Lost != 0 || rep.Duplicated != 0 || rep.DeletedIDHits != 0 || rep.StaleAcks != 0 {
+		t.Fatalf("invariant violations: lost=%d dup=%d hits=%d stale=%d",
+			rep.Lost, rep.Duplicated, rep.DeletedIDHits, rep.StaleAcks)
+	}
+	if rep.Compactions == 0 {
+		t.Fatal("no compaction recorded")
+	}
+	if rep.Inserts == 0 || rep.Deletes == 0 || rep.Reads == 0 {
+		t.Fatalf("degenerate mix: reads=%d inserts=%d deletes=%d", rep.Reads, rep.Inserts, rep.Deletes)
+	}
+	total := rep.Reads + rep.Inserts + rep.Deletes + rep.Overloaded + rep.DeadlineExceeded + rep.UnknownID + rep.OtherErrors
+	if total != rep.Ops {
+		t.Fatalf("accounting hole: %d outcomes for %d ops", total, rep.Ops)
+	}
+}
+
+func TestServeMutateCSVInput(t *testing.T) {
+	o := serveMutateOptions()
+	o.in = writeTestCSV(t)
+	o.serveMutateOps = 400
+	o.serveMutateCompactAt = 24
+	o.serveMode = "exact"
+	o.serveVerify = 4
+	var buf bytes.Buffer
+	if err := runServeMutate(context.Background(), &buf, o); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "compactions") {
+		t.Fatalf("no compaction summary in output:\n%s", buf.String())
+	}
+}
+
+func TestServeMutateErrors(t *testing.T) {
+	o := serveMutateOptions()
+	o.serveMode = "bogus"
+	if err := runServeMutate(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	o = serveMutateOptions()
+	o.neighbors = 0
+	if err := runServeMutate(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("zero neighbors accepted")
+	}
+	o = serveMutateOptions()
+	o.serveMutateWrite = 1.5
+	if err := runServeMutate(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("write fraction above 1 accepted")
+	}
+	o = serveMutateOptions()
+	o.serveMutateCompactAt = -1 // auto-compaction disabled: the >=1 compaction gate must fail
+	o.serveMutateOps = 200
+	if err := runServeMutate(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("run without any compaction accepted")
+	}
+	o = serveMutateOptions()
+	o.serveMutateOut = filepath.Join(t.TempDir(), "no", "such", "dir.json")
+	o.serveMutateOps = 300
+	o.serveMutateCompactAt = 16
+	o.serveVerify = 1
+	if err := runServeMutate(context.Background(), new(bytes.Buffer), o); err == nil {
+		t.Fatal("unwritable report path accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDropNeighbors(t *testing.T) {
+	ns := []Neighbor{{Index: 3, Dist: 0.1}, {Index: 7, Dist: 0.2}, {Index: 9, Dist: 0.3}, {Index: 12, Dist: 0.4}}
+
+	// Empty drop list: same slice back, untouched.
+	if got := DropNeighbors(ns, nil); len(got) != 4 || &got[0] != &ns[0] {
+		t.Fatalf("empty drop rewrote the slice: %+v", got)
+	}
+
+	got := DropNeighbors(append([]Neighbor(nil), ns...), []int{7, 12})
+	if len(got) != 2 || got[0].Index != 3 || got[1].Index != 9 {
+		t.Fatalf("drop {7,12} = %+v, want indices 3,9", got)
+	}
+
+	// Drop everything.
+	if got := DropNeighbors(append([]Neighbor(nil), ns...), []int{3, 7, 9, 12}); len(got) != 0 {
+		t.Fatalf("drop-all left %+v", got)
+	}
+
+	// Drop list with absent members filters only what matches.
+	got = DropNeighbors(append([]Neighbor(nil), ns...), []int{1, 9, 100})
+	if len(got) != 3 || got[0].Index != 3 || got[1].Index != 7 || got[2].Index != 12 {
+		t.Fatalf("drop {1,9,100} = %+v", got)
+	}
+}
+
+// TestDropNeighborsMatchesMapFilter is the property check: DropNeighbors
+// over a sorted drop list equals the obvious map-based filter, preserving
+// order, for random inputs.
+func TestDropNeighborsMatchesMapFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(30)
+		ns := make([]Neighbor, n)
+		for i := range ns {
+			ns[i] = Neighbor{Index: rng.Intn(40), Dist: rng.Float64()}
+		}
+		dropSet := make(map[int]struct{})
+		for i := 0; i < rng.Intn(10); i++ {
+			dropSet[rng.Intn(40)] = struct{}{}
+		}
+		drop := make([]int, 0, len(dropSet))
+		for v := range dropSet {
+			drop = append(drop, v)
+		}
+		// Sort the small drop list.
+		for i := 1; i < len(drop); i++ {
+			for j := i; j > 0 && drop[j] < drop[j-1]; j-- {
+				drop[j], drop[j-1] = drop[j-1], drop[j]
+			}
+		}
+		var want []Neighbor
+		for _, nb := range ns {
+			if _, dead := dropSet[nb.Index]; !dead {
+				want = append(want, nb)
+			}
+		}
+		got := DropNeighbors(append([]Neighbor(nil), ns...), drop)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d kept, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: kept[%d] = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -159,6 +159,37 @@ func SortNeighbors(ns []Neighbor) {
 	slices.SortFunc(ns, compareNeighbor)
 }
 
+// DropNeighbors removes, in place, every neighbor whose Index appears in
+// drop (a sorted ascending list of indices) and returns the shortened
+// slice. This is the tombstone filter of the serving layer's mutation
+// path: a merged candidate list is screened against the deleted set
+// before the canonical (distance, index) sort and truncation to k.
+// Surviving neighbors keep their relative order. drop may be empty.
+//
+//drlint:hotpath
+func DropNeighbors(ns []Neighbor, drop []int) []Neighbor {
+	if len(drop) == 0 {
+		return ns
+	}
+	kept := ns[:0]
+	for _, nb := range ns {
+		lo, hi := 0, len(drop)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if drop[mid] < nb.Index {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(drop) && drop[lo] == nb.Index {
+			continue
+		}
+		kept = append(kept, nb)
+	}
+	return kept
+}
+
 // Results returns the collected neighbors sorted by ascending distance
 // (ties broken by index for determinism).
 func (c *Collector) Results() []Neighbor {

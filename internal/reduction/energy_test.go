@@ -1,0 +1,119 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset/synthetic"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// axisBasis builds the d×k orthonormal basis whose columns are the given
+// coordinate axes.
+func axisBasis(d int, axes ...int) *linalg.Dense {
+	b := linalg.NewDense(d, len(axes))
+	for j, a := range axes {
+		b.RawRow(a)[j] = 1
+	}
+	return b
+}
+
+func TestAccumulateMatrixMatchesAddMatrix(t *testing.T) {
+	ds := synthetic.UniformCube("u", 250, 9, 3)
+	bulk := AccumulateMatrix(ds.X)
+	inc := NewCovarianceAccumulator(9)
+	inc.AddMatrix(ds.X)
+	if bulk.N() != inc.N() || bulk.Dims() != inc.Dims() {
+		t.Fatalf("bulk N/Dims = %d/%d, incremental %d/%d", bulk.N(), bulk.Dims(), inc.N(), inc.Dims())
+	}
+	if !linalg.VecEqual(bulk.Mean(), stats.ColumnMeans(ds.X), 1e-12) {
+		t.Fatal("bulk-seeded mean diverges from column means")
+	}
+	if !bulk.Covariance().Equal(inc.Covariance(), 1e-10) {
+		t.Fatal("bulk-seeded covariance diverges from incremental accumulation")
+	}
+}
+
+// TestCapturedEnergyAxisData pins the quantity against data whose variance
+// is overwhelmingly on one coordinate axis: the matching one-axis basis
+// captures nearly everything, the orthogonal one nearly nothing, and the
+// complete basis exactly everything.
+func TestCapturedEnergyAxisData(t *testing.T) {
+	const n, d = 400, 6
+	rng := rand.New(rand.NewSource(5))
+	x := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		row[0] = rng.NormFloat64() * 10
+		for j := 1; j < d; j++ {
+			row[j] = rng.NormFloat64() * 0.01
+		}
+	}
+	a := AccumulateMatrix(x)
+	if f := a.CapturedEnergy(axisBasis(d, 0)); f < 0.999 {
+		t.Fatalf("dominant-axis basis captures %v, want > 0.999", f)
+	}
+	if f := a.CapturedEnergy(axisBasis(d, 1)); f > 0.001 {
+		t.Fatalf("orthogonal basis captures %v, want < 0.001", f)
+	}
+	all := make([]int, d)
+	for i := range all {
+		all[i] = i
+	}
+	if f := a.CapturedEnergy(axisBasis(d, all...)); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("complete basis captures %v, want 1", f)
+	}
+}
+
+// TestCapturedEnergyDecaysUnderDrift is the serving-layer premise: a basis
+// frozen on the initial distribution loses captured energy as streaming
+// updates rotate the principal subspace.
+func TestCapturedEnergyDecaysUnderDrift(t *testing.T) {
+	const n, d = 300, 5
+	rng := rand.New(rand.NewSource(7))
+	x := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		row[0] = rng.NormFloat64() * 5
+		for j := 1; j < d; j++ {
+			row[j] = rng.NormFloat64() * 0.01
+		}
+	}
+	a := AccumulateMatrix(x)
+	p, err := a.FitPCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := p.Components.SliceCols([]int{0})
+	before := a.CapturedEnergy(basis)
+	if before < 0.99 {
+		t.Fatalf("at-freeze energy %v, want near 1", before)
+	}
+	vec := make([]float64, d)
+	for i := 0; i < 2*n; i++ {
+		for j := range vec {
+			vec[j] = rng.NormFloat64() * 0.01
+		}
+		vec[2] = rng.NormFloat64() * 5
+		a.Add(vec)
+	}
+	after := a.CapturedEnergy(basis)
+	if after >= before {
+		t.Fatalf("energy did not decay: before %v, after %v", before, after)
+	}
+	if after > 0.8*before {
+		t.Fatalf("drifted energy %v decayed too little from %v", after, before)
+	}
+}
+
+func TestCapturedEnergyPanicsOnShape(t *testing.T) {
+	a := AccumulateMatrix(synthetic.UniformCube("u", 50, 4, 1).X)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched basis rows")
+		}
+	}()
+	a.CapturedEnergy(linalg.NewDense(5, 2))
+}

@@ -76,6 +76,56 @@ func (a *CovarianceAccumulator) AddMatrix(x *linalg.Dense) {
 	}
 }
 
+// AccumulateMatrix builds an accumulator over every row of x using the
+// blocked AtA kernel for the second-moment matrix instead of AddMatrix's
+// O(n·d²) scalar updates — the bulk-seeding path for serving engines that
+// start drift tracking over an existing snapshot. The statistics equal
+// AddMatrix's up to floating-point summation order (AtA accumulates
+// column-blocked with FMA where available), which is immaterial for the
+// decay heuristics built on top.
+func AccumulateMatrix(x *linalg.Dense) *CovarianceAccumulator {
+	n, d := x.Dims()
+	a := NewCovarianceAccumulator(d)
+	if n == 0 {
+		return a
+	}
+	a.n = n
+	a.outer = linalg.AtA(x)
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		for j, v := range row {
+			a.sum[j] += v
+		}
+	}
+	return a
+}
+
+// CapturedEnergy returns tr(BᵀCB)/tr(C): the fraction of the stream's
+// current variance that lies inside the subspace spanned by the columns of
+// basis (assumed orthonormal, e.g. leading PCA components). A basis fitted
+// on a past snapshot captures its full energy target at fit time; as
+// inserts and deletes drift the distribution, this fraction decays — the
+// serving layer's online stand-in for the paper's P(D,e) loss-of-proximity
+// lens, cheap enough (O(m·d²)) to evaluate periodically without touching
+// the data. Returns 1 when the stream carries no variance. Requires at
+// least 2 points.
+func (a *CovarianceAccumulator) CapturedEnergy(basis *linalg.Dense) float64 {
+	if basis.Rows() != a.d {
+		panic(fmt.Sprintf("reduction: basis has %d rows, accumulator %d dims", basis.Rows(), a.d))
+	}
+	c := a.Covariance()
+	total := c.Trace()
+	if total <= 0 {
+		return 1
+	}
+	captured := 0.0
+	for j := 0; j < basis.Cols(); j++ {
+		b := basis.Col(j)
+		captured += linalg.Dot(b, c.MulVec(b))
+	}
+	return captured / total
+}
+
 // Merge folds another accumulator into a (both remain d-dimensional).
 func (a *CovarianceAccumulator) Merge(b *CovarianceAccumulator) {
 	if a.d != b.d {

@@ -57,7 +57,12 @@ func NewFromStore(st *store.Store, cfg Config) (*Engine, error) {
 	}
 	c := cfg.withDefaults(n, runtime.GOMAXPROCS(0))
 	e := newEngine(c)
-	e.snap.Store(buildStoreSnapshot(st, c, 1))
+	snap := buildStoreSnapshot(st, c, 1)
+	e.snap.Store(snap)
+	e.resetMutationLocked(snap)
+	if c.Drift.Components > 0 {
+		e.drift = newDriftMonitor(c.Drift, st.ExactMatrix())
+	}
 	e.start()
 	return e, nil
 }
@@ -66,7 +71,12 @@ func NewFromStore(st *store.Store, cfg Config) (*Engine, error) {
 // quantShards over the shared mapping.
 func buildStoreSnapshot(st *store.Store, cfg Config, epoch uint64) *snapshot {
 	n := st.Len()
-	snap := &snapshot{epoch: epoch, n: n, d: st.Dims(), shards: make([]*shard, cfg.Shards)}
+	// exact is the store's resident full-precision region: the float64
+	// ground truth its own exact path rescores against, and therefore the
+	// row source the compactor folds from. A store-backed engine's first
+	// compaction consequently produces a dense-backed snapshot over those
+	// exact rows, which preserves bit-identity of every later query.
+	snap := &snapshot{epoch: epoch, n: n, d: st.Dims(), exact: st.ExactMatrix(), shards: make([]*shard, cfg.Shards)}
 	for s, r := range shardRanges(n, cfg.Shards) {
 		snap.shards[s] = &shard{
 			lo: r[0],
@@ -93,7 +103,9 @@ func (e *Engine) SwapStore(st *store.Store) (uint64, error) {
 		cfg.Shards = n
 	}
 	next := buildStoreSnapshot(st, cfg, e.snap.Load().epoch+1)
-	e.snap.Store(next)
-	e.counters.swaps.Add(1)
+	e.installSnapshot(next)
+	if e.drift != nil {
+		e.drift.reseed(st.ExactMatrix())
+	}
 	return next.epoch, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,8 +15,9 @@ import (
 )
 
 // Engine is a sharded, admission-controlled query server over one dataset
-// snapshot. All methods are safe for concurrent use; Close releases the
-// worker pools.
+// snapshot, with a live mutation path (Insert/Delete/Compact) layered on
+// top. All methods are safe for concurrent use; Close releases the worker
+// pools and joins any in-flight compaction.
 type Engine struct {
 	cfg  Config
 	snap atomic.Pointer[snapshot]
@@ -25,12 +27,25 @@ type Engine struct {
 
 	// closeMu serializes admission against Close: Search sends on queue
 	// only under the read lock with closed false, so Close can safely
-	// close(queue) once it holds the write lock and flips closed.
+	// close(queue) once it holds the write lock and flips closed. The
+	// compactor spawn shares the same protocol (see maybeCompact).
 	closeMu sync.RWMutex
 	closed  bool
 
 	workers      sync.WaitGroup // request workers
 	shardWorkers sync.WaitGroup
+
+	// mut is the mutation state (delta buffers, tombstones); see mutate.go.
+	// compactMu serializes compaction cycles, compacting coalesces
+	// background triggers, compactWG lets Close join a running compactor.
+	mut        mutState
+	compactMu  sync.Mutex
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
+
+	// drift tracks streaming-PCA basis decay over the mutation stream;
+	// nil unless Config.Drift enables it.
+	drift *driftMonitor
 
 	counters counters
 	lat      *latencyRecorder
@@ -40,10 +55,16 @@ type Engine struct {
 // it once per request, so a Swap never tears a request across two
 // generations. data is the in-memory matrix for dense-backed snapshots and
 // nil for store-backed ones; n and d describe the snapshot either way.
+// exact is the float64 row source shared by the compactor and the drift
+// monitor: the matrix itself for dense snapshots, the store's
+// full-precision region for store-backed ones. ids maps row positions to
+// stable mutation IDs (ascending); nil means the identity mapping.
 type snapshot struct {
 	epoch  uint64
 	n, d   int
 	data   *linalg.Dense
+	exact  *linalg.Dense
+	ids    []int
 	shards []*shard
 }
 
@@ -102,19 +123,29 @@ type response struct {
 	err error
 }
 
-// shardTask is one shard's share of a fanned-out request.
+// shardTask is one shard's share of a fanned-out request. k is the
+// snapshot scan budget (the caller's k plus the shard's tombstone
+// over-fetch); deltaK, delta and dead describe the shard's captured delta
+// buffer (deltaK 0 skips the delta scan).
 type shardTask struct {
 	sh     *shard
 	query  []float64
 	k      int
 	approx bool
 	probes int
+	deltaK int
+	delta  deltaView
+	dead   []int           // sorted captured delta tombstone IDs
 	out    chan<- shardOut // buffered(len(shards)): sends never block
 }
 
-// shardOut carries a shard's partial top-k (global indices).
+// shardOut carries a shard's partial top-k: neigh holds snapshot
+// candidates as global row positions (tombstone filtering and ID
+// translation happen at the merge), delta holds already-filtered delta
+// candidates as stable IDs.
 type shardOut struct {
 	neigh      []knn.Neighbor
+	delta      []knn.Neighbor
 	candidates int
 }
 
@@ -128,7 +159,12 @@ func New(data *linalg.Dense, cfg Config) (*Engine, error) {
 	}
 	c := cfg.withDefaults(n, runtime.GOMAXPROCS(0))
 	e := newEngine(c)
-	e.snap.Store(buildSnapshot(data, c, 1))
+	snap := buildSnapshot(data, c, 1)
+	e.snap.Store(snap)
+	e.resetMutationLocked(snap)
+	if c.Drift.Components > 0 {
+		e.drift = newDriftMonitor(c.Drift, data)
+	}
 	e.start()
 	return e, nil
 }
@@ -164,7 +200,7 @@ func (e *Engine) start() {
 // byte-deterministic for a fixed config.
 func buildSnapshot(data *linalg.Dense, cfg Config, epoch uint64) *snapshot {
 	n := data.Rows()
-	snap := &snapshot{epoch: epoch, n: n, d: data.Cols(), data: data, shards: make([]*shard, cfg.Shards)}
+	snap := &snapshot{epoch: epoch, n: n, d: data.Cols(), data: data, exact: data, shards: make([]*shard, cfg.Shards)}
 	for s, r := range shardRanges(n, cfg.Shards) {
 		lo, hi := r[0], r[1]
 		view := data.RowSlice(lo, hi)
@@ -216,8 +252,13 @@ func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 // Dims returns the live snapshot's dimensionality.
 func (e *Engine) Dims() int { return e.snap.Load().d }
 
-// Len returns the live snapshot's row count.
-func (e *Engine) Len() int { return e.snap.Load().n }
+// Len returns the number of rows currently served: snapshot rows plus live
+// delta rows, minus pending tombstones.
+func (e *Engine) Len() int {
+	e.mut.mu.RLock()
+	defer e.mut.mu.RUnlock()
+	return e.snap.Load().n - len(e.mut.snapDead) + e.mut.live
+}
 
 // Shards returns the number of partitions of the live snapshot.
 func (e *Engine) Shards() int { return len(e.snap.Load().shards) }
@@ -225,7 +266,10 @@ func (e *Engine) Shards() int { return len(e.snap.Load().shards) }
 // Swap builds a snapshot over new data (a rebuilt reduction, refreshed
 // points, or both) and atomically installs it. In-flight queries finish on
 // whichever snapshot they loaded; queries admitted after Swap returns see
-// only the new one. Returns the new epoch.
+// only the new one. Pending mutation state is discarded — a Swap replaces
+// the served set wholesale, so delta rows and tombstones of the retired
+// generation are meaningless and row IDs restart at the new row count.
+// Returns the new epoch.
 func (e *Engine) Swap(data *linalg.Dense) (uint64, error) {
 	n, d := data.Dims()
 	if n == 0 || d == 0 {
@@ -236,9 +280,23 @@ func (e *Engine) Swap(data *linalg.Dense) (uint64, error) {
 		cfg.Shards = n
 	}
 	next := buildSnapshot(data, cfg, e.snap.Load().epoch+1)
-	e.snap.Store(next)
-	e.counters.swaps.Add(1)
+	e.installSnapshot(next)
+	if e.drift != nil {
+		e.drift.reseed(data)
+	}
 	return next.epoch, nil
+}
+
+// installSnapshot stores a wholesale-replacement snapshot and resets the
+// mutation state under the mutation lock, so a query can never capture the
+// new snapshot paired with the old generation's delta buffers or
+// tombstones (or vice versa).
+func (e *Engine) installSnapshot(next *snapshot) {
+	e.mut.mu.Lock()
+	e.snap.Store(next)
+	e.resetMutationLocked(next)
+	e.mut.mu.Unlock()
+	e.counters.swaps.Add(1)
 }
 
 // Search serves one query in ModeAuto: exact unless admission control
@@ -301,7 +359,7 @@ func (e *Engine) SearchMode(ctx context.Context, query []float64, k int, mode Mo
 		if r.res.Degraded {
 			e.counters.degraded.Add(1)
 		}
-		e.lat.record(r.res.Total)
+		e.lat.record(r.res.Epoch, r.res.Total)
 		return r.res, nil
 	case <-ctx.Done():
 		// The worker will still complete the request and drop its result
@@ -321,8 +379,8 @@ func (e *Engine) degradeDepth() int {
 }
 
 // Close stops admission, drains every queued request (they are served
-// normally — admitted work is never dropped), and joins both worker pools.
-// Safe to call twice.
+// normally — admitted work is never dropped), joins both worker pools and
+// any in-flight background compaction. Safe to call twice.
 func (e *Engine) Close() {
 	e.closeMu.Lock()
 	if e.closed {
@@ -335,25 +393,58 @@ func (e *Engine) Close() {
 	e.workers.Wait()
 	close(e.shardq)
 	e.shardWorkers.Wait()
+	// Background compactors check closed (under closeMu.RLock) before
+	// registering, so after the flip above no new one can appear.
+	e.compactWG.Wait()
 }
 
-// requestWorker drains the admission queue until Close. It owns one
-// reusable fan-out channel sized to the configured shard maximum (Swap
-// only ever clamps the shard count down), so per-request handling does
-// not allocate a fresh channel: handle fully drains it before returning,
-// leaving it empty for the next request.
+// reqScratch is one request worker's reusable per-request state: the
+// fan-out channel, the captured per-shard scan budgets and delta views,
+// and sorted copies of the tombstone lists. Everything is sized to the
+// configured shard maximum (Swap and compaction only ever clamp the shard
+// count down), so steady-state handling does not allocate: handle fully
+// drains the channel and overwrites the slices on every request.
+type reqScratch struct {
+	out     chan shardOut
+	budget  []int
+	views   []deltaView
+	deadPos []int // sorted captured snapshot tombstone positions
+	deadIDs []int // sorted captured delta tombstone IDs
+}
+
+// requestWorker drains the admission queue until Close, owning one
+// reqScratch for its lifetime.
 func (e *Engine) requestWorker() {
 	defer e.workers.Done()
-	out := make(chan shardOut, e.cfg.Shards)
+	sc := &reqScratch{
+		out:    make(chan shardOut, e.cfg.Shards),
+		budget: make([]int, e.cfg.Shards),
+		views:  make([]deltaView, e.cfg.Shards),
+	}
 	for req := range e.queue {
-		e.handle(req, out)
+		e.handle(req, sc)
 	}
 }
 
-// handle fans one admitted request over the shard pool and merges.
+// growInts returns a length-n int slice, reusing buf's backing array when
+// it is large enough.
 //
 //drlint:hotpath
-func (e *Engine) handle(req *request, out chan shardOut) {
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n, 2*n)
+	}
+	return buf[:n]
+}
+
+// handle fans one admitted request over the shard pool and merges. The
+// mutation capture (snapshot, per-shard tombstone budgets, delta views,
+// tombstone list headers) happens atomically under one read lock, so the
+// request sees a point-in-time-consistent image of the served set; the
+// scans and the merge then run lock-free against that capture.
+//
+//drlint:hotpath
+func (e *Engine) handle(req *request, sc *reqScratch) {
 	if err := req.ctx.Err(); err != nil {
 		// Expired while queued: reject without scanning. The caller has
 		// usually already returned ErrDeadline from its own ctx.Done arm;
@@ -361,30 +452,72 @@ func (e *Engine) handle(req *request, out chan shardOut) {
 		req.resp <- response{err: fmt.Errorf("%w (expired while queued: %v)", ErrDeadline, err)}
 		return
 	}
+	e.mut.mu.RLock()
 	snap := e.snap.Load()
 	if len(req.query) != snap.d {
+		e.mut.mu.RUnlock()
 		req.resp <- response{err: fmt.Errorf("%w: query has %d dims, index has %d",
 			ErrDims, len(req.query), snap.d)}
 		return
 	}
+	p := len(snap.shards)
+	sc.budget = sc.budget[:p]
+	sc.views = sc.views[:p]
+	deltaTotal := 0
+	for s := 0; s < p; s++ {
+		sc.budget[s] = req.k + e.mut.tombSnap[s]
+		b := &e.mut.bufs[s]
+		v := &sc.views[s]
+		v.rows = b.rows
+		v.ids = b.ids
+		v.norms = b.norms
+		v.d = snap.d
+		deltaTotal += len(b.ids)
+	}
+	snapDead := e.mut.snapDead
+	deltaDead := e.mut.deltaDead
+	e.mut.mu.RUnlock()
+	// The captured lists are append-only between installs, so their
+	// prefixes stay immutable after the lock is released; sort copies so
+	// the filters below are binary searches.
+	sc.deadPos = growInts(sc.deadPos, len(snapDead))
+	copy(sc.deadPos, snapDead)
+	slices.Sort(sc.deadPos)
+	sc.deadIDs = growInts(sc.deadIDs, len(deltaDead))
+	copy(sc.deadIDs, deltaDead)
+	slices.Sort(sc.deadIDs)
+
 	wait := time.Since(req.admitted)
 	approx := req.mode == ModeApprox || (req.mode == ModeAuto && req.degraded)
 
-	for _, sh := range snap.shards {
+	for s, sh := range snap.shards {
 		e.shardq <- shardTask{
 			sh:     sh,
 			query:  req.query,
-			k:      req.k,
+			k:      sc.budget[s],
 			approx: approx,
 			probes: e.cfg.Probes,
-			out:    out,
+			deltaK: req.k,
+			delta:  sc.views[s],
+			dead:   sc.deadIDs,
+			out:    sc.out,
 		}
 	}
-	merged := make([]knn.Neighbor, 0, len(snap.shards)*req.k)
+	merged := make([]knn.Neighbor, 0, p*req.k+len(sc.deadPos)+min(deltaTotal, p*req.k))
 	candidates := 0
-	for range snap.shards {
-		o := <-out
-		merged = append(merged, o.neigh...)
+	for s := 0; s < p; s++ {
+		o := <-sc.out
+		// Tombstone filter on snapshot candidates (positions), then lift
+		// positions to stable IDs. Delta candidates arrive pre-filtered
+		// and already carry IDs.
+		keep := knn.DropNeighbors(o.neigh, sc.deadPos)
+		if snap.ids != nil {
+			for j := range keep {
+				keep[j].Index = snap.ids[keep[j].Index]
+			}
+		}
+		merged = append(merged, keep...)
+		merged = append(merged, o.delta...)
 		candidates += o.candidates
 	}
 	knn.SortNeighbors(merged)
@@ -402,12 +535,15 @@ func (e *Engine) handle(req *request, out chan shardOut) {
 	}}
 }
 
-// shardWorker executes per-shard scans until Close.
+// shardWorker executes per-shard scans until Close. It owns one pooled
+// collector for delta scans, refilled lazily so the steady state does not
+// allocate.
 //
 //drlint:hotpath
 func (e *Engine) shardWorker() {
 	//drlint:ignore hotalloc one deferred frame per worker lifetime, not per task; Close relies on it to join the pool
 	defer e.shardWorkers.Done()
+	var coll *knn.Collector
 	for t := range e.shardq {
 		t.sh.tasks.Add(1)
 		var o shardOut
@@ -416,6 +552,12 @@ func (e *Engine) shardWorker() {
 			t.sh.candidates.Add(uint64(o.candidates))
 		} else {
 			o = t.sh.be.searchExact(t.query, t.k)
+		}
+		if t.deltaK > 0 && len(t.delta.ids) > 0 {
+			if coll == nil {
+				coll = knn.NewCollector(t.deltaK)
+			}
+			o.delta = t.delta.scan(t.query, t.deltaK, t.dead, coll)
 		}
 		t.out <- o
 	}

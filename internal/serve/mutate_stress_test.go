@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/index/lsh"
+	"repro/internal/linalg"
+)
+
+// TestMutateStress is the satellite-2 race harness: concurrent writers,
+// readers and forced compactions over one engine, with lost/duplicate
+// accounting on every op slot. It is most valuable under `go test -race`
+// (the CI mutate-stress job); without the race detector it still checks
+// the acknowledgement invariants.
+func TestMutateStress(t *testing.T) {
+	ops := 6000
+	if testing.Short() {
+		ops = 1500
+	}
+	rng := rand.New(rand.NewSource(97))
+	const n, d, nq = 400, 16, 64
+	data := randMatrix(rng, n, d)
+	queries := randMatrix(rng, nq, d)
+
+	e, err := New(data, Config{
+		Shards:     4,
+		QueueDepth: 8192,
+		CompactAt:  192, // force several mid-run background compactions
+		LSH:        lsh.Config{Tables: 4, Hashes: 8, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	// A dedicated goroutine forces synchronous compactions while the load
+	// runs, on top of the background ones the CompactAt watermark triggers,
+	// so capture/build/install races with both readers and writers.
+	stop := make(chan struct{})
+	var forced atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				if _, err := e.Compact(context.Background()); err == nil {
+					forced.Add(1)
+				}
+			}
+		}
+	}()
+
+	rep, live, err := RunMutateLoad(context.Background(), e, data, queries, MutateConfig{
+		Ops:           ops,
+		Concurrency:   16,
+		WriteFraction: 0.25,
+		K:             8,
+		Seed:          131,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Fatalf("accounting violations: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	if rep.DeletedIDHits != 0 {
+		t.Fatalf("deleted IDs returned to readers %d times", rep.DeletedIDHits)
+	}
+	if rep.StaleAcks != 0 {
+		t.Fatalf("%d acked inserts invisible to later exact reads", rep.StaleAcks)
+	}
+	if rep.UnknownID != 0 || rep.OtherErrors != 0 {
+		t.Fatalf("untyped or impossible errors: unknownID=%d other=%d", rep.UnknownID, rep.OtherErrors)
+	}
+	if rep.Reads+rep.Inserts+rep.Deletes+rep.Overloaded+rep.DeadlineExceeded != rep.Ops {
+		t.Fatalf("outcomes do not partition ops: %+v", rep)
+	}
+	if rep.Compactions == 0 {
+		t.Fatalf("no compaction ran (forced=%d); stress never exercised the install path", forced.Load())
+	}
+	if rep.FinalRows != len(live.IDs) {
+		t.Fatalf("report FinalRows=%d, live set has %d", rep.FinalRows, len(live.IDs))
+	}
+
+	// Quiesce, then hold the survivors to bit-identity against a rebuild.
+	if _, err := e.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMutated(context.Background(), e, live, queries, 8, 24); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Len(); got != len(live.IDs) {
+		t.Fatalf("engine Len=%d, ground truth %d", got, len(live.IDs))
+	}
+}
+
+// TestDriftTriggersRecompaction pins the streaming-PCA wiring: a mutation
+// stream that rotates the data's principal subspace must decay the frozen
+// basis's captured energy, force a compaction through the decay trigger
+// (even though the pending count stays below CompactAt), and refit the
+// basis during the install.
+func TestDriftTriggersRecompaction(t *testing.T) {
+	const n, d = 300, 8
+	// Base data: variance concentrated on axis 0.
+	rng := rand.New(rand.NewSource(101))
+	data := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := data.RawRow(i)
+		row[0] = rng.NormFloat64() * 10
+		for j := 1; j < d; j++ {
+			row[j] = rng.NormFloat64() * 0.01
+		}
+	}
+	e, err := New(data, Config{
+		Shards:     2,
+		QueueDepth: 1024,
+		CompactAt:  1 << 20, // count watermark unreachable: only decay can trigger
+		MaxDelta:   1 << 20,
+		Drift: DriftConfig{
+			Components:     1,
+			DecayThreshold: 0.9,
+			CheckEvery:     32,
+		},
+		LSH: lsh.Config{Tables: 2, Hashes: 4, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	ctx := context.Background()
+
+	st := e.Stats()
+	if st.DriftBaselineEnergy <= 0.9 {
+		t.Fatalf("baseline captured energy %v, want near 1 for axis-aligned data", st.DriftBaselineEnergy)
+	}
+
+	// Insert rows whose variance lives on axis 1: the frozen axis-0 basis
+	// captures almost none of it, so the energy fraction decays.
+	vec := make([]float64, d)
+	deadline := time.Now().Add(10 * time.Second)
+	triggered := false
+	for i := 0; i < 4000 && !triggered; i++ {
+		for j := range vec {
+			vec[j] = rng.NormFloat64() * 0.01
+		}
+		vec[1] = rng.NormFloat64() * 10
+		if _, err := e.Insert(ctx, append([]float64(nil), vec...)); err != nil {
+			t.Fatal(err)
+		}
+		if e.Stats().Compactions > 0 {
+			triggered = true
+		}
+	}
+	// The trigger spawns a background compactor; give it a bounded moment.
+	for !triggered && time.Now().Before(deadline) {
+		if e.Stats().Compactions > 0 {
+			triggered = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !triggered {
+		t.Fatalf("drift decay never forced a compaction (stats: %+v)", e.Stats())
+	}
+	// Wait for the refit that follows the install.
+	var final EngineStats
+	for time.Now().Before(deadline) {
+		final = e.Stats()
+		if final.BasisRefits > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.BasisRefits == 0 {
+		t.Fatalf("compaction installed but basis never refit (stats: %+v)", final)
+	}
+}

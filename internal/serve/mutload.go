@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// MutateConfig parameterizes RunMutateLoad, the read/write load generator
+// behind `drtool -serve-mutate`.
+type MutateConfig struct {
+	// Ops is the total number of operations to issue (reads plus writes).
+	Ops int
+	// Concurrency is the number of closed-loop client goroutines.
+	Concurrency int
+	// WriteFraction is the probability in [0, 1] that an operation is a
+	// write (split roughly evenly between inserts and deletes); the rest
+	// are k-NN reads. 0 selects 0.10 — a 90/10 read/write mix.
+	WriteFraction float64
+	// K is the neighbor count per read.
+	K int
+	// Deadline is the per-operation context deadline (0 = none).
+	Deadline time.Duration
+	// Mode selects the search path of ordinary reads (read-your-writes
+	// verification reads always run ModeExact, since only the exact path
+	// carries the bit-identity contract).
+	Mode Mode
+	// Seed roots the per-client RNG streams that drive the op mix, the
+	// insert payloads, and the delete targets.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c MutateConfig) withDefaults() MutateConfig {
+	if c.Ops <= 0 {
+		c.Ops = 10000
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.WriteFraction <= 0 {
+		c.WriteFraction = 0.10
+	}
+	if c.WriteFraction > 1 {
+		c.WriteFraction = 1
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	return c
+}
+
+// MutateReport is the outcome accounting of one RunMutateLoad. Every issued
+// operation lands in exactly one bucket; the four violation counters —
+// Lost, Duplicated, DeletedIDHits, StaleAcks — are what "no acknowledged
+// write is ever lost and no deleted row ever resurrects" means
+// operationally, and all four must be zero.
+type MutateReport struct {
+	Ops           int
+	Concurrency   int
+	WriteFraction float64
+	Mode          string
+
+	// Reads counts served read queries; Inserts and Deletes count
+	// acknowledged mutations.
+	Reads   int
+	Inserts int
+	Deletes int
+
+	// Typed rejections. UnknownID must be zero here: clients only ever
+	// delete IDs they own and have not yet deleted, so an ErrUnknownID is
+	// an engine-side accounting bug, not load.
+	Overloaded       int
+	DeadlineExceeded int
+	UnknownID        int
+	OtherErrors      int
+
+	// Lost counts op slots that finished with no recorded outcome;
+	// Duplicated counts slots with more than one.
+	Lost       int
+	Duplicated int
+
+	// DeletedIDHits counts read results containing an ID whose deletion the
+	// same client had already been acknowledged — a resurrection.
+	DeletedIDHits int
+	// StaleAcks counts acknowledged inserts that a later ModeExact read by
+	// the same client failed to observe — a broken read-your-writes fence.
+	StaleAcks int
+
+	// Compactions and Epoch sample the engine after the run: at least one
+	// mid-run compaction is what makes the run exercise the full
+	// capture/build/install cycle rather than pure delta scanning.
+	Compactions uint64
+	Epoch       uint64
+	// FinalRows is the surviving row count (base − deletes + inserts).
+	FinalRows int
+
+	Elapsed    time.Duration
+	Throughput float64 // completed operations per second
+}
+
+// LiveSet is the ground-truth surviving state after a mutation run: the
+// stable IDs still alive (ascending) and their vectors, row-aligned. It is
+// what a from-scratch rebuild would serve, so VerifyMutated can hold the
+// engine to bit-identity against it.
+type LiveSet struct {
+	IDs  []int
+	Rows *linalg.Dense
+}
+
+// Outcome codes of one mutation-load operation slot.
+const (
+	mOutNone int8 = iota
+	mOutRead
+	mOutInsert
+	mOutDelete
+	mOutOverloaded
+	mOutDeadline
+	mOutUnknown
+	mOutError
+)
+
+// mutClient is one closed-loop client's private state. Clients partition
+// both the op slots (client w owns ops w, w+C, ...) and the deletable rows
+// (client w owns base rows w, w+C, ... plus every row it inserted), so all
+// bookkeeping is coordination-free and every violation counter is exact.
+type mutClient struct {
+	rng      *rand.Rand
+	alive    []int             // live owned IDs, deletion candidates
+	inserted map[int][]float64 // acked inserts (survivors contribute to LiveSet)
+	deleted  map[int]struct{}  // acked deletes (must never reappear in reads)
+	checkID  int               // pending read-your-writes target, -1 when none
+	checkVec []float64
+	hits     int // deleted-ID resurrections observed
+	stale    int // acked inserts a later exact read missed
+}
+
+// RunMutateLoad drives the engine with a mixed read/write workload:
+// cfg.Concurrency closed-loop clients issue cfg.Ops operations total —
+// k-NN reads cycling through the rows of queries, interleaved with inserts
+// (noised copies of base rows) and deletes of rows the client owns. The
+// engine must be freshly built over base (stable IDs 0..base.Rows()-1,
+// no prior mutations), so the returned LiveSet is exact ground truth.
+//
+// Three invariants are checked inline and reported, not assumed: every op
+// slot completes exactly once (Lost/Duplicated), an acknowledged delete is
+// invisible to every later read by that client (DeletedIDHits), and an
+// acknowledged insert is visible to the client's next successful exact read
+// (StaleAcks).
+func RunMutateLoad(ctx context.Context, e *Engine, base, queries *linalg.Dense, cfg MutateConfig) (MutateReport, LiveSet, error) {
+	c := cfg.withDefaults()
+	nq := queries.Rows()
+	baseN, d := base.Dims()
+	if nq == 0 || baseN == 0 {
+		return MutateReport{}, LiveSet{}, fmt.Errorf("serve: mutation load needs non-empty base and query sets")
+	}
+	if queries.Cols() != e.Dims() || d != e.Dims() {
+		return MutateReport{}, LiveSet{}, fmt.Errorf("serve: mutation load dims (base %d, queries %d) do not match engine (%d)",
+			d, queries.Cols(), e.Dims())
+	}
+
+	outcomes := make([]int8, c.Ops)
+	writes := make([]int32, c.Ops) // per-slot completion count: must end at 1
+
+	clients := make([]*mutClient, c.Concurrency)
+	for w := range clients {
+		cl := &mutClient{
+			rng:      rand.New(rand.NewSource(c.Seed + int64(w)*0x9E3779B9)),
+			inserted: make(map[int][]float64),
+			deleted:  make(map[int]struct{}),
+			checkID:  -1,
+		}
+		for id := w; id < baseN; id += c.Concurrency {
+			cl.alive = append(cl.alive, id)
+		}
+		clients[w] = cl
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(c.Concurrency)
+	for w := 0; w < c.Concurrency; w++ {
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w]
+			for i := w; i < c.Ops; i += c.Concurrency {
+				rctx := ctx
+				cancel := func() {}
+				if c.Deadline > 0 {
+					rctx, cancel = context.WithTimeout(ctx, c.Deadline)
+				}
+				outcomes[i] = cl.step(rctx, e, base, queries, i%nq, c)
+				cancel()
+				writes[i]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := MutateReport{
+		Ops:           c.Ops,
+		Concurrency:   c.Concurrency,
+		WriteFraction: c.WriteFraction,
+		Mode:          c.Mode.String(),
+		Elapsed:       elapsed,
+	}
+	for i, o := range outcomes {
+		switch o {
+		case mOutRead:
+			rep.Reads++
+		case mOutInsert:
+			rep.Inserts++
+		case mOutDelete:
+			rep.Deletes++
+		case mOutOverloaded:
+			rep.Overloaded++
+		case mOutDeadline:
+			rep.DeadlineExceeded++
+		case mOutUnknown:
+			rep.UnknownID++
+		case mOutError:
+			rep.OtherErrors++
+		default:
+			rep.Lost++
+		}
+		if writes[i] > 1 {
+			rep.Duplicated++
+		}
+	}
+	for _, cl := range clients {
+		rep.DeletedIDHits += cl.hits
+		rep.StaleAcks += cl.stale
+	}
+	completed := rep.Reads + rep.Inserts + rep.Deletes
+	if completed > 0 {
+		rep.Throughput = float64(completed) / elapsed.Seconds()
+	}
+
+	live := assembleLiveSet(base, clients)
+	rep.FinalRows = len(live.IDs)
+	st := e.Stats()
+	rep.Compactions = st.Compactions
+	rep.Epoch = st.Epoch
+	return rep, live, nil
+}
+
+// step issues one operation and returns its outcome code.
+func (cl *mutClient) step(ctx context.Context, e *Engine, base, queries *linalg.Dense, qRow int, c MutateConfig) int8 {
+	classify := func(err error) int8 {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			return mOutOverloaded
+		case errors.Is(err, ErrDeadline):
+			return mOutDeadline
+		case errors.Is(err, ErrUnknownID):
+			return mOutUnknown
+		default:
+			return mOutError
+		}
+	}
+
+	if cl.rng.Float64() < c.WriteFraction {
+		// Write op: even split between insert and delete, falling back to
+		// insert when the client has nothing left to delete.
+		if cl.rng.Intn(2) == 0 && len(cl.alive) > 0 {
+			j := cl.rng.Intn(len(cl.alive))
+			id := cl.alive[j]
+			if err := e.Delete(ctx, id); err != nil {
+				return classify(err)
+			}
+			cl.alive[j] = cl.alive[len(cl.alive)-1]
+			cl.alive = cl.alive[:len(cl.alive)-1]
+			cl.deleted[id] = struct{}{}
+			delete(cl.inserted, id)
+			if id == cl.checkID {
+				// The pending read-your-writes target was just deleted by
+				// its own writer; absence is now the correct outcome.
+				cl.checkID, cl.checkVec = -1, nil
+			}
+			return mOutDelete
+		}
+		vec := make([]float64, base.Cols())
+		copy(vec, base.RawRow(cl.rng.Intn(base.Rows())))
+		for j := range vec {
+			vec[j] += cl.rng.NormFloat64() * 0.01
+		}
+		id, err := e.Insert(ctx, vec)
+		if err != nil {
+			return classify(err)
+		}
+		cl.alive = append(cl.alive, id)
+		cl.inserted[id] = vec
+		cl.checkID, cl.checkVec = id, vec
+		return mOutInsert
+	}
+
+	// Read op. A pending read-your-writes check replaces the ordinary read:
+	// query the inserted vector itself on the exact path and require its ID
+	// in the results (distance zero is unbeatable under the canonical
+	// order, so absence means the ack was not yet visible — a staleness
+	// violation). The check survives failed reads and retries on the next
+	// read op.
+	if cl.checkID >= 0 {
+		res, err := e.SearchMode(ctx, cl.checkVec, c.K, ModeExact)
+		if err != nil {
+			return classify(err)
+		}
+		found := false
+		for _, nb := range res.Neighbors {
+			if nb.Index == cl.checkID {
+				found = true
+			}
+			if _, dead := cl.deleted[nb.Index]; dead {
+				cl.hits++
+			}
+		}
+		if !found {
+			cl.stale++
+		}
+		cl.checkID, cl.checkVec = -1, nil
+		return mOutRead
+	}
+	res, err := e.SearchMode(ctx, queries.RawRow(qRow), c.K, c.Mode)
+	if err != nil {
+		return classify(err)
+	}
+	for _, nb := range res.Neighbors {
+		if _, dead := cl.deleted[nb.Index]; dead {
+			cl.hits++
+		}
+	}
+	return mOutRead
+}
+
+// assembleLiveSet merges the clients' private bookkeeping into the
+// ascending-ID ground truth. Base IDs are the identity range, every insert
+// ID exceeds every base ID, and clients' owned sets are disjoint, so the
+// concatenation below is globally sorted without a comparison sort over
+// the rows.
+func assembleLiveSet(base *linalg.Dense, clients []*mutClient) LiveSet {
+	baseN, d := base.Dims()
+	deadBase := make(map[int]struct{})
+	insertedIDs := make([]int, 0)
+	insertedRows := make(map[int][]float64)
+	for _, cl := range clients {
+		for id := range cl.deleted {
+			if id < baseN {
+				deadBase[id] = struct{}{}
+			}
+		}
+		for id, vec := range cl.inserted {
+			insertedIDs = append(insertedIDs, id)
+			insertedRows[id] = vec
+		}
+	}
+	ids := make([]int, 0, baseN-len(deadBase)+len(insertedIDs))
+	for id := 0; id < baseN; id++ {
+		if _, dead := deadBase[id]; !dead {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(insertedIDs)
+	ids = append(ids, insertedIDs...)
+	if len(ids) == 0 {
+		return LiveSet{}
+	}
+	rows := linalg.NewDense(len(ids), d)
+	for r, id := range ids {
+		if id < baseN {
+			copy(rows.RawRow(r), base.RawRow(id))
+		} else {
+			copy(rows.RawRow(r), insertedRows[id])
+		}
+	}
+	return LiveSet{IDs: ids, Rows: rows}
+}
+
+// VerifyMutated holds the engine to the bit-identity contract against the
+// post-mutation ground truth: for up to sample rows of queries (0 = all),
+// the engine's ModeExact top-k must equal knn.SearchSetBatch over
+// live.Rows — the from-scratch rebuild over surviving rows — with results
+// mapped through live.IDs, equal indices, and distance bits compared with
+// math.Float64bits. Call it only after mutation traffic has stopped.
+func VerifyMutated(ctx context.Context, e *Engine, live LiveSet, queries *linalg.Dense, k, sample int) error {
+	if len(live.IDs) == 0 {
+		return fmt.Errorf("serve: VerifyMutated needs a non-empty live set")
+	}
+	if k > len(live.IDs) {
+		k = len(live.IDs)
+	}
+	nq := queries.Rows()
+	if sample <= 0 || sample > nq {
+		sample = nq
+	}
+	qsub := queries.RowSlice(0, sample)
+	want := knn.SearchSetBatch(live.Rows, qsub, k, knn.Euclidean{}, false)
+	for q := 0; q < sample; q++ {
+		res, err := e.SearchMode(ctx, qsub.RawRow(q), k, ModeExact)
+		if err != nil {
+			return fmt.Errorf("serve: VerifyMutated query %d: %w", q, err)
+		}
+		if len(res.Neighbors) != len(want[q]) {
+			return fmt.Errorf("serve: VerifyMutated query %d: engine returned %d neighbors, rebuild %d",
+				q, len(res.Neighbors), len(want[q]))
+		}
+		for j, nb := range res.Neighbors {
+			wantID := live.IDs[want[q][j].Index]
+			if nb.Index != wantID {
+				return fmt.Errorf("serve: VerifyMutated query %d rank %d: engine id %d, rebuild id %d",
+					q, j, nb.Index, wantID)
+			}
+			if math.Float64bits(nb.Dist) != math.Float64bits(want[q][j].Dist) {
+				return fmt.Errorf("serve: VerifyMutated query %d rank %d (id %d): engine dist %v (bits %#x), rebuild %v (bits %#x)",
+					q, j, nb.Index, nb.Dist, math.Float64bits(nb.Dist), want[q][j].Dist, math.Float64bits(want[q][j].Dist))
+			}
+		}
+	}
+	return nil
+}

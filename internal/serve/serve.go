@@ -66,6 +66,9 @@ var (
 	// snapshot (possible when a Swap changes the reduction basis while the
 	// request is in flight).
 	ErrDims = errors.New("serve: query dimensionality does not match live index")
+	// ErrUnknownID reports a Delete whose ID is not in the served set:
+	// never issued, already deleted, or deleted and since compacted away.
+	ErrUnknownID = errors.New("serve: id is not in the served set")
 )
 
 // Mode selects the search path of a request.
@@ -132,6 +135,19 @@ type Config struct {
 	// only pays when queries are scarce relative to processors (few large
 	// shards, low request concurrency). Ignored by dense-backed engines.
 	ScanWorkers int
+	// MaxDelta bounds the live (inserted, not yet compacted or deleted)
+	// delta rows; Insert rejects with ErrOverloaded beyond it — write
+	// admission control mirroring the query queue (0 selects 8192).
+	MaxDelta int
+	// CompactAt schedules a background compaction once pending mutation
+	// state (live delta rows plus tombstones) reaches this size (0 selects
+	// 1024; negative disables automatic compaction, leaving Compact to the
+	// caller).
+	CompactAt int
+	// Drift enables streaming-PCA drift tracking of the mutation stream;
+	// a decayed basis forces a re-projection compaction. The zero value
+	// disables it.
+	Drift DriftConfig
 	// LSH configures each shard's hash index. LSH.Seed is the root seed;
 	// shard i derives an independent seed from it, so a snapshot is
 	// deterministic for a fixed config regardless of build parallelism.
@@ -167,6 +183,12 @@ func (c Config) withDefaults(n, procs int) Config {
 	}
 	if c.ScanWorkers <= 0 {
 		c.ScanWorkers = 1
+	}
+	if c.MaxDelta <= 0 {
+		c.MaxDelta = 8192
+	}
+	if c.CompactAt == 0 {
+		c.CompactAt = 1024
 	}
 	return c
 }

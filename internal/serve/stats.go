@@ -19,6 +19,12 @@ const (
 	latBins   = 160
 )
 
+// latEpochCap bounds how many per-epoch histograms the recorder retains.
+// Older epochs fold into one historical histogram, so aggregate quantiles
+// stay exact over the engine's whole life while memory stays O(cap·bins)
+// even under compaction-heavy workloads that burn an epoch per second.
+const latEpochCap = 32
+
 // counters is the engine's atomic counter block.
 type counters struct {
 	served   atomic.Uint64
@@ -28,40 +34,93 @@ type counters struct {
 	exact    atomic.Uint64
 	approx   atomic.Uint64
 	swaps    atomic.Uint64
+	// Mutation-path counters. These are cumulative over the engine's life,
+	// deliberately independent of the snapshot pointer: a compaction or
+	// Swap installs fresh shards (whose per-shard tallies restart), but
+	// the mutation history must survive the swap or the load generator's
+	// accounting would observe inserts "vanishing" at every compaction.
+	inserts     atomic.Uint64
+	deletes     atomic.Uint64
+	compactions atomic.Uint64
+	refits      atomic.Uint64
 }
 
-// latencyRecorder is a mutex-guarded fixed-bucket histogram of request
-// latencies. A single short critical section per request is cheap next to a
-// shard scan; the recorder exists so EngineStats can report percentiles
-// without retaining per-request samples.
+// latencyRecorder keeps one fixed-bucket histogram per snapshot epoch. Keying
+// by epoch makes the recorder snapshot-swap-safe: a request records into the
+// histogram of the epoch that served it, so a compaction installing epoch
+// e+1 mid-flight never splices a stale request's latency into the new
+// generation's numbers, and per-epoch percentiles remain readable after the
+// swap. Aggregate quantiles merge all retained epochs plus the historical
+// fold, which is exact because histogram bins are position-aligned.
 type latencyRecorder struct {
-	mu sync.Mutex
-	h  *stats.Histogram
+	mu     sync.Mutex
+	epochs map[uint64]*stats.Histogram
+	order  []uint64        // epochs in first-record order, oldest first
+	folded *stats.Histogram // merged histograms of evicted epochs
 }
 
 func newLatencyRecorder() *latencyRecorder {
-	return &latencyRecorder{h: stats.NewHistogram(latMinLog, latMaxLog, latBins)}
+	return &latencyRecorder{epochs: make(map[uint64]*stats.Histogram, latEpochCap)}
 }
 
-// record adds one request's total latency.
-func (l *latencyRecorder) record(d time.Duration) {
+// record adds one request's total latency under the epoch that served it.
+func (l *latencyRecorder) record(epoch uint64, d time.Duration) {
 	sec := d.Seconds()
 	if sec <= 0 {
 		sec = 1e-9 // clock-resolution floor; clamps into the first bucket
 	}
+	x := math.Log10(sec)
 	l.mu.Lock()
-	l.h.Add(math.Log10(sec))
+	h := l.epochs[epoch]
+	if h == nil {
+		if len(l.order) >= latEpochCap {
+			// Fold the oldest epoch into the historical histogram rather
+			// than dropping it: aggregate quantiles must cover every
+			// request ever served.
+			old := l.order[0]
+			l.order = l.order[1:]
+			if l.folded == nil {
+				l.folded = stats.NewHistogram(latMinLog, latMaxLog, latBins)
+			}
+			l.folded.Merge(l.epochs[old])
+			delete(l.epochs, old)
+		}
+		h = stats.NewHistogram(latMinLog, latMaxLog, latBins)
+		l.epochs[epoch] = h
+		l.order = append(l.order, epoch)
+	}
+	h.Add(x)
 	l.mu.Unlock()
 }
 
-// quantile returns the q-quantile latency, or 0 before any request.
+// quantile returns the q-quantile latency over every epoch (retained and
+// folded), or 0 before any request.
 func (l *latencyRecorder) quantile(q float64) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.h.Total() == 0 {
+	m := stats.NewHistogram(latMinLog, latMaxLog, latBins)
+	if l.folded != nil {
+		m.Merge(l.folded)
+	}
+	for _, h := range l.epochs {
+		m.Merge(h)
+	}
+	if m.Total() == 0 {
 		return 0
 	}
-	return time.Duration(math.Pow(10, l.h.Quantile(q)) * float64(time.Second))
+	return time.Duration(math.Pow(10, m.Quantile(q)) * float64(time.Second))
+}
+
+// epochQuantile returns the q-quantile latency of one epoch's requests, or 0
+// if that epoch recorded nothing (or has been folded into history).
+func (l *latencyRecorder) epochQuantile(epoch uint64, q float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.epochs[epoch]
+	if h == nil || h.Total() == 0 {
+		return 0
+	}
+	return time.Duration(math.Pow(10, h.Quantile(q)) * float64(time.Second))
 }
 
 // EngineStats is a point-in-time snapshot of the engine's counters.
@@ -70,11 +129,22 @@ type EngineStats struct {
 	// Served; Degraded counts the subset of Approx that admission control
 	// downgraded.
 	Served, Exact, Approx, Degraded uint64
-	// Rejected counts ErrOverloaded admissions (queue full); Deadline
-	// counts requests whose context expired before a result was returned.
+	// Rejected counts ErrOverloaded admissions — query-queue overflow plus
+	// Insert rejections at the MaxDelta cap; Deadline counts requests whose
+	// context expired before a result was returned.
 	Rejected, Deadline uint64
-	// Swaps counts snapshot replacements; Epoch is the live generation.
+	// Swaps counts snapshot replacements (Swap, SwapStore, and compactor
+	// installs); Epoch is the live generation.
 	Swaps, Epoch uint64
+	// Inserts and Deletes count acknowledged mutations over the engine's
+	// life; Compactions counts background/explicit compaction installs and
+	// BasisRefits counts drift-triggered PCA basis refreezes. All four are
+	// cumulative across snapshot swaps.
+	Inserts, Deletes, Compactions, BasisRefits uint64
+	// DeltaRows is the live (inserted, not yet compacted or deleted) delta
+	// depth at sampling time; Tombstones counts pending deletions not yet
+	// folded away by a compaction.
+	DeltaRows, Tombstones int
 	// QueueDepth/QueueCap describe the admission queue at sampling time.
 	QueueDepth, QueueCap int
 	// Shards is the live partition count. ShardTasks[i] counts scans
@@ -83,29 +153,52 @@ type EngineStats struct {
 	Shards          int
 	ShardTasks      []uint64
 	ShardCandidates []uint64
-	// LatencyP50/LatencyP99 are served-request latency percentiles from
-	// the fixed-bucket histogram (zero before the first served request).
-	LatencyP50, LatencyP99 time.Duration
+	// LatencyP50/LatencyP99 are served-request latency percentiles over
+	// every epoch (zero before the first served request);
+	// EpochLatencyP50/EpochLatencyP99 cover only requests the live epoch
+	// served (zero until it serves one).
+	LatencyP50, LatencyP99           time.Duration
+	EpochLatencyP50, EpochLatencyP99 time.Duration
+	// DriftBaselineEnergy/DriftCapturedEnergy are the PCA basis's captured
+	// variance fraction at freeze time and at the last decay check (zero
+	// when drift tracking is disabled).
+	DriftBaselineEnergy, DriftCapturedEnergy float64
 }
 
 // Stats samples the engine's counters. Per-shard numbers describe the live
-// snapshot only (a Swap starts fresh shard counters with the new shards).
+// snapshot only (a Swap starts fresh shard counters with the new shards);
+// mutation counters and latency percentiles are cumulative across swaps.
 func (e *Engine) Stats() EngineStats {
+	e.mut.mu.RLock()
 	snap := e.snap.Load()
+	deltaRows := e.mut.live
+	tombstones := len(e.mut.snapDead) + len(e.mut.deltaDead)
+	e.mut.mu.RUnlock()
 	s := EngineStats{
-		Served:     e.counters.served.Load(),
-		Exact:      e.counters.exact.Load(),
-		Approx:     e.counters.approx.Load(),
-		Degraded:   e.counters.degraded.Load(),
-		Rejected:   e.counters.rejected.Load(),
-		Deadline:   e.counters.deadline.Load(),
-		Swaps:      e.counters.swaps.Load(),
-		Epoch:      snap.epoch,
-		QueueDepth: len(e.queue),
-		QueueCap:   cap(e.queue),
-		Shards:     len(snap.shards),
-		LatencyP50: e.lat.quantile(0.50),
-		LatencyP99: e.lat.quantile(0.99),
+		Served:          e.counters.served.Load(),
+		Exact:           e.counters.exact.Load(),
+		Approx:          e.counters.approx.Load(),
+		Degraded:        e.counters.degraded.Load(),
+		Rejected:        e.counters.rejected.Load(),
+		Deadline:        e.counters.deadline.Load(),
+		Swaps:           e.counters.swaps.Load(),
+		Inserts:         e.counters.inserts.Load(),
+		Deletes:         e.counters.deletes.Load(),
+		Compactions:     e.counters.compactions.Load(),
+		BasisRefits:     e.counters.refits.Load(),
+		DeltaRows:       deltaRows,
+		Tombstones:      tombstones,
+		Epoch:           snap.epoch,
+		QueueDepth:      len(e.queue),
+		QueueCap:        cap(e.queue),
+		Shards:          len(snap.shards),
+		LatencyP50:      e.lat.quantile(0.50),
+		LatencyP99:      e.lat.quantile(0.99),
+		EpochLatencyP50: e.lat.epochQuantile(snap.epoch, 0.50),
+		EpochLatencyP99: e.lat.epochQuantile(snap.epoch, 0.99),
+	}
+	if e.drift != nil {
+		s.DriftBaselineEnergy, s.DriftCapturedEnergy = e.drift.energies()
 	}
 	s.ShardTasks = make([]uint64, len(snap.shards))
 	s.ShardCandidates = make([]uint64, len(snap.shards))

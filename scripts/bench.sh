@@ -8,7 +8,10 @@
 # drives the sharded serving engine through `drtool -serve-bench` at the
 # acceptance workload (10k queries, concurrency 32, musk-like n=6598 d=166)
 # and records the outcome accounting and latency percentiles in
-# BENCH_serve.json (or $3).
+# BENCH_serve.json (or $3). The serving record is gated on the mutation
+# stress suite under the race detector, and a `drtool -serve-mutate`
+# acceptance run (10k ops, concurrency 32, 90/10 read/write) is spliced
+# into the same JSON under "mutate".
 #
 # Usage: scripts/bench.sh [output.json] [benchtime] [serve-output.json]
 # Env:   STORE_N     store-bench scale (default 1000000; 0 skips the store run)
@@ -136,7 +139,41 @@ rm -f "$storetmp"
 echo "wrote $out"
 cat "$out"
 
+# Never record serving numbers from an engine whose mutation path can lose
+# or duplicate operations: the mutation stress suite must pass under the
+# race detector with shuffled order before BENCH_serve.json is written.
+echo "bench.sh: mutation stress gate (race detector, shuffled)"
+go test ./internal/serve/ -race -shuffle=on \
+  -run 'TestMutateStress|TestMutationMatchesRebuild|TestStoreMutationMatchesRebuild|TestCompactDeterministic'
+
 # Serving-layer acceptance run: the load generator verifies a query sample
 # bit-identical to SearchSetBatch and fails on any lost or duplicated
 # response, so a recorded BENCH_serve.json doubles as a correctness receipt.
 go run ./cmd/drtool -serve-bench -serve-out "$serveout"
+
+# Live-mutation acceptance run: 10k ops at concurrency 32 with the default
+# 90/10 read/write mix. The tool itself fails on any lost or duplicated op,
+# any deleted-ID hit, any stale ack, or a run with no mid-run compaction,
+# and verifies the quiesced engine bit-identical to a from-scratch rebuild
+# over the survivors — its JSON is spliced into $serveout as "mutate".
+mutatetmp=$(mktemp)
+go run ./cmd/drtool -serve-mutate -serve-mutate-out "$mutatetmp"
+awk -v mutfile="$mutatetmp" '
+{ lines[NR] = $0 }
+END {
+    # The serve report is an indented JSON object whose last line is the
+    # closing brace; splice the mutate object in just before it.
+    for (i = 1; i < NR; i++) print lines[i]
+    printf "  ,\"mutate\": "
+    first = 1
+    while ((getline line < mutfile) > 0) {
+        if (first) { print line; first = 0 }
+        else       { print "  " line }
+    }
+    close(mutfile)
+    print lines[NR]
+}
+' "$serveout" >"${serveout}.tmp"
+mv "${serveout}.tmp" "$serveout"
+rm -f "$mutatetmp"
+echo "wrote $serveout"
