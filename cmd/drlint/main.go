@@ -1,12 +1,13 @@
 // Command drlint runs this repository's project-specific static analyzers
-// over the module and exits nonzero on findings. The four syntactic rules
-// (dimguard, globalrand, floatcmp, goroutinehygiene) are joined by four
-// type-aware rules (atomicmix, lockhold, ctxflow, errwrap) that run over a
-// go/types-checked view of every package, and by three dataflow rules
-// (hotalloc, unsafelife, asmabi) that reason over a module-local call
-// graph: hot-path allocation tracking behind //drlint:hotpath
-// annotations, mmap view lifetime confinement, and asm/Go ABI contract
-// checking for the amd64 kernels.
+// over the module and exits nonzero on findings. Seventeen rules in five
+// families: four syntactic (dimguard, globalrand, floatcmp,
+// goroutinehygiene); four type-aware (atomicmix, lockhold, ctxflow,
+// errwrap) over a go/types-checked view of every package; three dataflow
+// (hotalloc, unsafelife, asmabi) over a module-local call graph; three
+// compiler-witness gates (escapegate, inlinegate, bcegate) that join real
+// `go build -gcflags='-m=2 -d=ssa/check_bce/debug=1'` diagnostics against
+// the //drlint:hotpath closure; and three determinism rules (maporder,
+// seedprov, snapcapture) guarding reproducibility of reported results.
 //
 // Usage:
 //
@@ -16,6 +17,8 @@
 //	go run ./cmd/drlint -format sarif ./... > drlint.sarif
 //	go run ./cmd/drlint -baseline .drlint-baseline.json ./...
 //	go run ./cmd/drlint -baseline .drlint-baseline.json -write-baseline ./...
+//	go run ./cmd/drlint -no-witness ./...   # skip the compiler-witness family
+//	go run ./cmd/drlint -timing ./...       # per-rule wall-clock report on stderr
 //	go run ./cmd/drlint -list
 //
 // Findings print as file:line:col: [rule] message (-format text), as a JSON
@@ -25,6 +28,13 @@
 // the -baseline path instead of failing. Suppress an intentional finding
 // with a justified directive on the offending line or the line above:
 // //drlint:ignore <rule> <reason>.
+//
+// The compiler-witness family shells out to the active go toolchain; when
+// the toolchain is untested or its output unrecognizable the family
+// degrades to disabled and a notice prints on stderr (the run still
+// succeeds). -no-witness skips the family outright — for cross-compiled CI
+// legs (e.g. GOARCH=arm64) where the witness build would describe the
+// wrong architecture.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -43,8 +54,10 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json or sarif")
 	baselinePath := flag.String("baseline", "", "baseline file: recorded findings are accepted, only new ones fail")
 	writeBaseline := flag.Bool("write-baseline", false, "record the current findings to the -baseline path and exit")
+	noWitness := flag.Bool("no-witness", false, "skip the compiler-witness rule family (no go build shell-out)")
+	timing := flag.Bool("timing", false, "report per-rule wall-clock time on stderr after the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: drlint [-rules r1,r2] [-format text|json|sarif] [-baseline file [-write-baseline]] [-list] [patterns...]\n\npatterns are directories or ./... (default ./...)\n")
+		fmt.Fprintf(os.Stderr, "usage: drlint [-rules r1,r2] [-format text|json|sarif] [-baseline file [-write-baseline]] [-no-witness] [-timing] [-list] [patterns...]\n\npatterns are directories or ./... (default ./...)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,6 +80,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+	}
+	if *noWitness {
+		analyzers = dropFamily(analyzers, "compiler-witness")
+	}
+	if *timing {
+		analysis.EnableTimings()
 	}
 	switch *format {
 	case "text", "json", "sarif":
@@ -99,6 +118,17 @@ func main() {
 		}
 		res.Diags = append(res.Diags, r.Diags...)
 		res.Suppressed = append(res.Suppressed, r.Suppressed...)
+	}
+
+	// Surface a degraded witness layer: the run still succeeds, but the
+	// user learns the three gates verified nothing this time.
+	if n := analysis.WitnessNotice(); n != "" {
+		fmt.Fprintln(os.Stderr, "drlint: "+n)
+	}
+	if *timing {
+		for _, rt := range analysis.Timings() {
+			fmt.Fprintf(os.Stderr, "drlint: timing %-16s %s\n", rt.Rule, rt.Elapsed.Round(time.Microsecond))
+		}
 	}
 
 	if *writeBaseline {
@@ -147,6 +177,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drlint: %d new finding(s)\n", len(failing))
 		os.Exit(1)
 	}
+}
+
+// dropFamily removes every analyzer of one family from the run set.
+func dropFamily(analyzers []*analysis.Analyzer, family string) []*analysis.Analyzer {
+	kept := make([]*analysis.Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if a.Family != family {
+			kept = append(kept, a)
+		}
+	}
+	return kept
 }
 
 // runPattern resolves one CLI pattern and returns the surviving findings.

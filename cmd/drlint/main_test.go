@@ -126,3 +126,18 @@ func TestRulesFilter(t *testing.T) {
 		t.Fatal("unknown rule accepted")
 	}
 }
+
+// TestDropFamilyNoWitness pins the -no-witness opt-out: exactly the three
+// compiler-witness analyzers drop out, everything else survives.
+func TestDropFamilyNoWitness(t *testing.T) {
+	all := analysis.All()
+	kept := dropFamily(all, "compiler-witness")
+	if len(kept) != len(all)-3 {
+		t.Fatalf("dropFamily kept %d of %d analyzers, want %d", len(kept), len(all), len(all)-3)
+	}
+	for _, a := range kept {
+		if a.Family == "compiler-witness" {
+			t.Errorf("witness analyzer %s survived -no-witness", a.Name)
+		}
+	}
+}

@@ -38,6 +38,38 @@
 //     with errors.Is and wrapped with %w — never ==/!=, switch cases, or
 //     string matching on Error() text.
 //
+// Three dataflow rules reason over a module-local call graph:
+//
+//   - hotalloc: no per-call heap allocation in functions reachable from a
+//     //drlint:hotpath annotation, unless exempted (pool refills, result
+//     materialization, cold error paths).
+//   - unsafelife: mmap-derived views must stay confined to their mapping's
+//     lifetime — no escaping to globals, returns past Close, or goroutines.
+//   - asmabi: Go declarations for the amd64 assembly kernels must match the
+//     contracts the .s files actually implement.
+//
+// Three compiler-witness rules join real `go build` diagnostics
+// (-gcflags='-m=2 -d=ssa/check_bce/debug=1') against the hot-path closure,
+// gating on what the compiler did rather than what the source suggests
+// (see witness.go; the family degrades to disabled on toolchain skew):
+//
+//   - escapegate: no compiler-witnessed heap escape or moved-to-heap local
+//     in a hot function.
+//   - inlinegate: non-inlined calls in a hot function must fit the
+//     function's declared budget (//drlint:hotpath inline=N).
+//   - bcegate: no retained bounds check inside loops of asm-adjacent
+//     kernels (internal/linalg, internal/store scan kernels).
+//
+// Three determinism rules guard reproducibility of reported results:
+//
+//   - maporder: map iteration order must not flow into slices that are
+//     returned or sent, ordered sinks like knn.Collector.Offer, or JSON
+//     encoding, without an intervening sort.
+//   - seedprov: RNG seeds must come from configuration, flags, or fixed
+//     literals — not time, PIDs, map order, or channel scheduling.
+//   - snapcapture: an atomic snapshot pointer must be loaded once per
+//     scope and reused, never re-loaded (a TOCTOU race window).
+//
 // Findings can be suppressed with a justified directive on the offending
 // line or the line above it:
 //
@@ -184,12 +216,15 @@ type Analyzer struct {
 
 // All returns the analyzers this project enforces, in stable order: the
 // four syntactic rules from the first drlint, the four type-aware rules,
-// then the three dataflow rules.
+// the three dataflow rules, the three compiler-witness gates, and the
+// three determinism rules.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DimGuard, GlobalRand, FloatCmp, GoroutineHygiene,
 		AtomicMix, LockHold, CtxFlow, ErrWrap,
 		HotAlloc, UnsafeLife, AsmABI,
+		EscapeGate, InlineGate, BceGate,
+		MapOrder, SeedProv, SnapCapture,
 	}
 }
 
@@ -248,7 +283,7 @@ func RunPackagesResult(pkgs []*Package, analyzers []*Analyzer) RunResult {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &perPkg[i]}
-			a.Run(pass)
+			timeRule(a.Name, func() { a.Run(pass) })
 		}
 		perPkg[i] = append(perPkg[i], typeErrorDiagnostics(pkg)...)
 	}
@@ -268,7 +303,7 @@ func RunPackagesResult(pkgs []*Package, analyzers []*Analyzer) RunResult {
 			continue
 		}
 		mp := &ModulePass{Analyzer: a, Pkgs: pkgs}
-		a.RunModule(mp)
+		timeRule(a.Name, func() { a.RunModule(mp) })
 		for _, d := range mp.diags {
 			if i, ok := fileOwner[d.Pos.Filename]; ok {
 				perPkg[i] = append(perPkg[i], d)
@@ -286,13 +321,51 @@ func RunPackagesResult(pkgs []*Package, analyzers []*Analyzer) RunResult {
 		res.Diags = append(res.Diags, kept...)
 		res.Suppressed = append(res.Suppressed, sup...)
 	}
-	sortDiagnostics(res.Diags)
+	res.Diags = sortDiagnostics(res.Diags)
+	sortSuppressed(res.Suppressed)
 	return res
 }
 
-func sortDiagnostics(diags []Diagnostic) {
+// sortDiagnostics orders findings by (file, line, column, rule, message) and
+// collapses exact duplicates. A file compiled into more than one package unit
+// (e.g. a non-test file seen by both the package and its external test
+// harness) would otherwise surface module-scope findings twice, and output
+// order would depend on package iteration order.
+func sortDiagnostics(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			p := diags[i-1]
+			if p.Pos == d.Pos && p.Rule == d.Rule && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// sortSuppressed mirrors sortDiagnostics for the suppressed list, so
+// -write-baseline and redundancy reports are position-ordered too.
+func sortSuppressed(sup []Suppressed) {
+	sort.Slice(sup, func(i, j int) bool {
+		a, b := sup[i].Diag, sup[j].Diag
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}

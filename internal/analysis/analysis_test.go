@@ -5,6 +5,7 @@ import (
 	"go/parser"
 	"go/token"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"runtime"
@@ -167,6 +168,118 @@ func TestAsmABIFixture(t *testing.T) {
 		t.Skip("asmabi is inert off amd64")
 	}
 	runFixture(t, AsmABI, "asmabi", "repro/internal/asmfix")
+}
+
+// requireWitnessToolchain skips tests that need a real witness build: the
+// compiler-witness fixtures run `go build` against the nested fixture
+// module under testdata/src, which requires a go tool whose diagnostic
+// format the parser has been validated against.
+func requireWitnessToolchain(t *testing.T) {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		t.Skipf("no go tool available: %v", err)
+	}
+	if v := strings.TrimSpace(string(out)); !witnessVersionSupported(v) {
+		t.Skipf("witness parser not validated against %s; gates degrade to disabled", v)
+	}
+}
+
+func TestEscapeGateFixture(t *testing.T) {
+	requireWitnessToolchain(t)
+	runFixture(t, EscapeGate, "escapegate", "")
+}
+
+func TestInlineGateFixture(t *testing.T) {
+	requireWitnessToolchain(t)
+	runFixture(t, InlineGate, "inlinegate", "")
+}
+
+func TestBceGateFixture(t *testing.T) {
+	requireWitnessToolchain(t)
+	// The fixture pretends to be the kernel package; bcegate is scoped to
+	// internal/linalg and the store's scanBlock family.
+	runFixture(t, BceGate, "bcegate", "repro/internal/linalg")
+}
+
+func TestBceGateSkipsOtherPackages(t *testing.T) {
+	requireWitnessToolchain(t)
+	root := filepath.Join("testdata", "src")
+	pkg, err := LoadDir(root, filepath.Join(root, "bcegate"))
+	if err != nil || pkg == nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pkg.Path = "repro/internal/experiments"
+	if diags := RunPackages([]*Package{pkg}, []*Analyzer{BceGate}); len(diags) != 0 {
+		t.Fatalf("bcegate fired outside the kernel packages: %v", diags)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, MapOrder, "maporder", "")
+}
+
+func TestMapOrderCollectorFixture(t *testing.T) {
+	// The knn stand-in package carries the /internal/knn path suffix the
+	// Collector.Offer sink matching keys on.
+	runFixture(t, MapOrder, filepath.Join("internal", "knn"), "")
+}
+
+func TestSeedProvFixture(t *testing.T) {
+	runFixture(t, SeedProv, "seedprov", "")
+}
+
+func TestSnapCaptureFixture(t *testing.T) {
+	runFixture(t, SnapCapture, "snapcapture", "repro/internal/serve")
+}
+
+func TestSnapCaptureSkipsOtherPackages(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkg, err := LoadDir(root, filepath.Join(root, "snapcapture"))
+	if err != nil || pkg == nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pkg.Path = "repro/internal/store"
+	if diags := RunPackages([]*Package{pkg}, []*Analyzer{SnapCapture}); len(diags) != 0 {
+		t.Fatalf("snapcapture fired outside internal/serve: %v", diags)
+	}
+}
+
+func TestSortDiagnosticsDedup(t *testing.T) {
+	mk := func(file string, line, col int, rule, msg string) Diagnostic {
+		return Diagnostic{
+			Pos:     token.Position{Filename: file, Line: line, Column: col},
+			Rule:    rule,
+			Message: msg,
+		}
+	}
+	dup := mk("b.go", 4, 2, "maporder", "dup finding")
+	in := []Diagnostic{
+		mk("b.go", 9, 1, "seedprov", "later"),
+		dup,
+		mk("a.go", 1, 1, "floatcmp", "first"),
+		dup,
+		mk("b.go", 4, 2, "maporder", "same position, different message"),
+	}
+	out := sortDiagnostics(in)
+	if len(out) != 4 {
+		t.Fatalf("want 4 diagnostics after dedup, got %d: %v", len(out), out)
+	}
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+	seen := map[string]bool{}
+	for _, d := range out {
+		k := d.String()
+		if seen[k] {
+			t.Fatalf("duplicate survived dedup: %s", k)
+		}
+		seen[k] = true
+	}
 }
 
 // parseSrc builds an in-memory single-file package for directive tests.
@@ -340,7 +453,13 @@ func TestDiagnosticString(t *testing.T) {
 
 func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
 	seen := map[string]bool{}
-	families := map[string]bool{"syntactic": true, "type-aware": true, "dataflow": true}
+	families := map[string]bool{
+		"syntactic":        true,
+		"type-aware":       true,
+		"dataflow":         true,
+		"compiler-witness": true,
+		"determinism":      true,
+	}
 	for _, a := range All() {
 		if a.Name == "" || a.Doc == "" {
 			t.Fatalf("analyzer %+v incomplete", a)
@@ -356,8 +475,8 @@ func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 11 {
-		t.Fatalf("want at least 11 analyzers, got %d", len(seen))
+	if len(seen) < 17 {
+		t.Fatalf("want at least 17 analyzers, got %d", len(seen))
 	}
 }
 

@@ -163,6 +163,5 @@ func Gate(root string, res RunResult, b *Baseline) []Diagnostic {
 			})
 		}
 	}
-	sortDiagnostics(out)
-	return out
+	return sortDiagnostics(out)
 }

@@ -4,8 +4,10 @@ import "testing"
 
 // BenchmarkDrlintModule measures one full drlint pass over the module:
 // parse every package, type-check it with the file-system importer, and
-// run all eleven analyzers — including the dataflow rules' call-graph
-// construction, taint fixpoint, and asm parsing. This is the cost
+// run all seventeen analyzers — including the dataflow rules' call-graph
+// construction, taint fixpoint, asm parsing, and the compiler-witness
+// layer's `go build` shell-out (cached per process, so the first
+// iteration pays it). This is the cost
 // `go test ./...` and CI pay on every run, so scripts/bench.sh records it
 // next to the numeric kernels; it must stay well under 5 s per pass.
 func BenchmarkDrlintModule(b *testing.B) {

@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
@@ -20,17 +22,56 @@ import (
 const hotpathDirective = "//drlint:hotpath"
 
 // hasHotpathDirective reports whether the function's doc comment group
-// carries a //drlint:hotpath line.
+// carries a //drlint:hotpath line, with or without arguments (the
+// `inline=N` budget inlinegate consumes).
 func hasHotpathDirective(fd *ast.FuncDecl) bool {
+	return hotpathComment(fd) != nil
+}
+
+// hotpathComment returns the //drlint:hotpath comment line of fd's doc
+// group, or nil when the function is not annotated.
+func hotpathComment(fd *ast.FuncDecl) *ast.Comment {
 	if fd.Doc == nil {
-		return false
+		return nil
 	}
 	for _, c := range fd.Doc.List {
-		if strings.TrimSpace(c.Text) == hotpathDirective {
-			return true
+		t := strings.TrimSpace(c.Text)
+		if t == hotpathDirective || strings.HasPrefix(t, hotpathDirective+" ") {
+			return c
 		}
 	}
-	return false
+	return nil
+}
+
+// hotpathInlineBudget parses the optional arguments of a //drlint:hotpath
+// annotation. The only recognized argument is `inline=N`: the number of
+// statically-resolved module calls in this function's body the author
+// accepts staying non-inlined (measured, deliberate costs like a pooled
+// collector's Offer). Absent annotation or absent argument means budget 0.
+// The comment is returned for error positioning; a non-nil error describes
+// a malformed argument list.
+func hotpathInlineBudget(fd *ast.FuncDecl) (int, *ast.Comment, error) {
+	c := hotpathComment(fd)
+	if c == nil {
+		return 0, nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), hotpathDirective))
+	if rest == "" {
+		return 0, c, nil
+	}
+	budget := 0
+	for _, tok := range strings.Fields(rest) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || k != "inline" {
+			return 0, c, fmt.Errorf("unknown argument %q (grammar: //drlint:hotpath [inline=N])", tok)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, c, fmt.Errorf("inline budget %q is not a non-negative integer", v)
+		}
+		budget = n
+	}
+	return budget, c, nil
 }
 
 // poolGetVars returns the objects assigned (directly or through a type
@@ -189,6 +230,65 @@ func preSizedExprs(body ast.Node) map[string]bool {
 		return true
 	})
 	return out
+}
+
+// allocExempt bundles the per-function value sets behind the exemption walk
+// hotalloc and escapegate share: a context that makes an allocation (or a
+// compiler-witnessed escape) acceptable on a hot path.
+type allocExempt struct {
+	info  *types.Info
+	pools map[types.Object]bool
+	sinks map[types.Object]bool
+}
+
+func newAllocExempt(info *types.Info, body ast.Node) *allocExempt {
+	return &allocExempt{
+		info:  info,
+		pools: poolGetVars(info, body),
+		sinks: sinkVars(info, body),
+	}
+}
+
+// exempted walks the ancestor stack looking for a context that makes an
+// allocation acceptable: a panic argument, a cap/len-guarded or
+// pool-miss-guarded branch, or a statement whose value is the function's
+// result (return, channel send, or assignment to a variable that reaches
+// one).
+func (x *allocExempt) exempted(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(a.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := x.info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if condHasCapLenGuard(a.Cond) {
+				return true
+			}
+			if condIsNilCheckOn(x.info, a.Cond, x.pools) {
+				return true
+			}
+		case *ast.ReturnStmt, *ast.SendStmt:
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range a.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := x.info.ObjectOf(id); obj != nil && x.sinks[obj] {
+						return true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range a.Names {
+				if obj := x.info.ObjectOf(name); obj != nil && x.sinks[obj] {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // funcFacts is the one-hop summary of a module function the call-site rules

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// EscapeGate proves hot paths allocation-free with the compiler's own
+// escape analysis instead of syntactic pattern matching: any expression the
+// optimizer reports as escaping to the heap inside a //drlint:hotpath
+// closure is flagged, unless the shared exemption walk recognizes it as an
+// amortized-to-zero idiom (pool-miss refill, cap-guarded growth, result
+// materialization, panic path). hotalloc approximates allocation sites from
+// the AST; escapegate is the ground truth check that the approximation did
+// not miss one the compiler actually emits.
+//
+// Escape facts the compiler attributes to a call site (the inlined copy of
+// a callee's allocation) are skipped here: the callee is in the closure and
+// its own compile carries the same fact at the real source position, so
+// every allocation is judged exactly once, in the function that wrote it.
+//
+// When the witness build is unavailable — unknown toolchain, unrecognized
+// diagnostic format, sandbox without a go tool — the rule reports nothing
+// and cmd/drlint surfaces the degradation via WitnessNotice.
+var EscapeGate = &Analyzer{
+	Name: "escapegate",
+	Doc: "no compiler-witnessed heap escape may survive in a //drlint:hotpath " +
+		"closure; pool refills, cap-guarded growth, and result materialization " +
+		"are exempt as in hotalloc",
+	Family:          "compiler-witness",
+	NeedsAnnotation: true,
+	NeedsTypes:      true,
+	RunModule:       runEscapeGate,
+}
+
+func runEscapeGate(pass *ModulePass) {
+	wc := newWitnessContext(pass)
+	if wc == nil {
+		return
+	}
+	for _, fi := range wc.graph.funcs {
+		root, ok := wc.hot[fi.obj]
+		if !ok || fi.decl.Body == nil {
+			continue
+		}
+		checkEscapes(pass, wc, fi, root)
+	}
+}
+
+func checkEscapes(pass *ModulePass, wc *witnessContext, fi *funcInfo, root string) {
+	info := fi.pkg.TypesInfo
+	fset := fi.pkg.Fset
+	ex := newAllocExempt(info, fi.decl.Body)
+
+	var stack []ast.Node
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		key := witnessKey(wc.root, fset.Position(n.Pos()))
+		switch n := n.(type) {
+		case *ast.CompositeLit, *ast.FuncLit, *ast.CallExpr, *ast.UnaryExpr:
+			// Allocating expressions carry their escape fact at their own
+			// position; facts keyed at a call's left parenthesis (inlined
+			// callee copies) never coincide with a node position, so they
+			// are skipped by construction.
+			if what, ok := wc.report.escapes[key]; ok && !ex.exempted(stack) {
+				pass.Reportf(fi.pkg, n.Pos(), "%s: %s escapes to heap (compiler escape analysis); hoist it, pool it, or justify with //drlint:ignore escapegate",
+					hotWhere(fi, root), what)
+			}
+		case *ast.Ident:
+			// "moved to heap: x" facts key at the variable's declaration;
+			// match the name so an unrelated identifier sharing a position
+			// line cannot alias the fact.
+			if name, ok := wc.report.moved[key]; ok && name == n.Name && !ex.exempted(stack) {
+				pass.Reportf(fi.pkg, n.Pos(), "%s: local %s is moved to the heap (compiler escape analysis); avoid capturing its address or justify with //drlint:ignore escapegate",
+					hotWhere(fi, root), name)
+			}
+		}
+		return true
+	})
+}

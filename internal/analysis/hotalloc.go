@@ -92,16 +92,14 @@ type hotChecker struct {
 	fi    *funcInfo
 	root  string
 
-	pools    map[types.Object]bool
-	sinks    map[types.Object]bool
+	ex       *allocExempt
 	presized map[string]bool
 }
 
 func (c *hotChecker) check() {
 	info := c.fi.pkg.TypesInfo
 	body := c.fi.decl.Body
-	c.pools = poolGetVars(info, body)
-	c.sinks = sinkVars(info, body)
+	c.ex = newAllocExempt(info, body)
 	c.presized = preSizedExprs(body)
 
 	var stack []ast.Node
@@ -285,47 +283,11 @@ func (c *hotChecker) appendPreSized(call *ast.CallExpr, stack []ast.Node) bool {
 	return false
 }
 
-// exempted walks the ancestor stack looking for a context that makes an
-// allocation acceptable: a panic argument, a cap/len-guarded or
-// pool-miss-guarded branch, or a statement whose value is the function's
-// result (return, channel send, or assignment to a variable that reaches
-// one).
+// exempted delegates to the shared allocExempt walk (see dataflow.go),
+// which escapegate reuses so the two rules agree on what counts as an
+// amortized-to-zero idiom.
 func (c *hotChecker) exempted(stack []ast.Node) bool {
-	info := c.fi.pkg.TypesInfo
-	for i := len(stack) - 2; i >= 0; i-- {
-		switch a := stack[i].(type) {
-		case *ast.CallExpr:
-			if id, ok := ast.Unparen(a.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
-					return true
-				}
-			}
-		case *ast.IfStmt:
-			if condHasCapLenGuard(a.Cond) {
-				return true
-			}
-			if condIsNilCheckOn(info, a.Cond, c.pools) {
-				return true
-			}
-		case *ast.ReturnStmt, *ast.SendStmt:
-			return true
-		case *ast.AssignStmt:
-			for _, lhs := range a.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok {
-					if obj := info.ObjectOf(id); obj != nil && c.sinks[obj] {
-						return true
-					}
-				}
-			}
-		case *ast.ValueSpec:
-			for _, name := range a.Names {
-				if obj := info.ObjectOf(name); obj != nil && c.sinks[obj] {
-					return true
-				}
-			}
-		}
-	}
-	return false
+	return c.ex.exempted(stack)
 }
 
 // closureCaptures returns the names of function-local variables a closure

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags the classic silent nondeterminism: iterating a map and
+// letting the iteration order leak into an ordered artifact. Go randomizes
+// map iteration per run, so a map-range value flowing into a returned or
+// channel-sent slice, a knn.Collector offer, or a JSON encoding produces
+// results that differ between identical executions — exactly what the
+// bit-identity contracts (merge-equivalence, rebuild-equivalence, recall
+// experiments) cannot tolerate.
+//
+// The accepted idiom is collect-then-sort: appending into a slice is fine
+// when a recognized sort (sort.*, slices.Sort*, or a module Sort* helper
+// like knn.SortNeighbors) runs on that slice after the loop. Commutative
+// folds (sums, max, set membership) never flag — only flows into the three
+// order-sensitive sinks do.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "map iteration order must not flow into returned/sent slices, " +
+		"knn.Collector offers, or JSON encoding without an intervening sort",
+	Family:     "determinism",
+	NeedsTypes: true,
+	Run:        runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapOrder(pass, info, fd)
+		}
+	}
+}
+
+func checkMapOrder(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	sinks := sinkVars(info, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		loopVars := rangeLoopVars(info, rs)
+		if len(loopVars) == 0 {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				checkMapAppend(pass, info, fd, rs, m, loopVars, sinks)
+			case *ast.CallExpr:
+				checkMapCall(pass, info, rs, m, loopVars)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// rangeLoopVars returns the objects bound to the range's key and value.
+func rangeLoopVars(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkMapAppend flags `s = append(s, ...loopVar...)` inside a map range
+// when s is a result sink (reaches a return or send) and no recognized
+// sort runs on s after the loop.
+func checkMapAppend(pass *Pass, info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt, loopVars, sinks map[types.Object]bool) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if !exprReferences(info, call, loopVars) {
+			continue
+		}
+		lhs, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.ObjectOf(lhs)
+		if obj == nil || !sinks[obj] {
+			continue
+		}
+		if sortedAfter(info, fd, obj, rs.End()) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "map iteration order flows into result slice %s without a sort; collect, then sort before returning or sending", lhs.Name)
+	}
+}
+
+// checkMapCall flags order-sensitive calls fed by map-range variables:
+// knn.Collector offers (insertion order decides ties) and JSON encoding.
+func checkMapCall(pass *Pass, info *types.Info, rs *ast.RangeStmt, call *ast.CallExpr, loopVars map[types.Object]bool) {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return
+	}
+	if !argsReference(info, call, loopVars) {
+		return
+	}
+	full := callee.FullName()
+	switch {
+	case strings.HasSuffix(full, "/internal/knn.Collector).Offer"),
+		strings.HasSuffix(full, "/internal/knn.Collector).Add"):
+		pass.Reportf(call.Pos(), "map iteration order flows into %s; ties resolve by insertion order, so offer in a sorted or index order", callee.Name())
+	case full == "encoding/json.Marshal", full == "encoding/json.MarshalIndent",
+		full == "(*encoding/json.Encoder).Encode":
+		pass.Reportf(call.Pos(), "map iteration order flows into JSON encoding via %s; collect into a sorted slice first", callee.Name())
+	}
+}
+
+// sortedAfter reports whether a recognized sort call on obj appears after
+// pos in fd's body — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return true
+		}
+		callee := calleeOf(info, call)
+		if callee == nil || !isSortFunc(callee) || len(call.Args) == 0 {
+			return true
+		}
+		if exprReferencesObj(info, call.Args[0], obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isSortFunc recognizes the stdlib sorters and any module helper whose
+// name starts with Sort (knn.SortNeighbors and friends).
+func isSortFunc(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sort":
+		switch f.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Ints", "Strings", "Float64s":
+			return true
+		}
+	case "slices":
+		switch f.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return strings.HasPrefix(pkg.Path(), modulePath) && strings.HasPrefix(f.Name(), "Sort")
+}
+
+// exprReferences reports whether any identifier inside e resolves to one
+// of the given objects.
+func exprReferences(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// argsReference is exprReferences over a call's arguments only (the callee
+// expression itself does not carry loop data).
+func argsReference(info *types.Info, call *ast.CallExpr, objs map[types.Object]bool) bool {
+	for _, a := range call.Args {
+		if exprReferences(info, a, objs) {
+			return true
+		}
+	}
+	// A method receiver built from the loop variable is a flow too:
+	// m[k].Offer(...) offers in map order.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if exprReferences(info, sel.X, objs) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprReferencesObj is exprReferences for a single object.
+func exprReferencesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	return exprReferences(info, e, map[types.Object]bool{obj: true})
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapCapture enforces the snapshot-capture discipline in internal/serve:
+// an atomic.Pointer field is a published snapshot, and correctness of a
+// read path depends on every decision in that path seeing the SAME
+// snapshot. Loading the pointer twice in one function scope is a
+// time-of-check/time-of-use race — a concurrent publisher (compaction,
+// rebuild, delta flush) can swap the snapshot between the two Loads, so
+// the second Load observes different segments, counts, or tombstones than
+// the first validated against.
+//
+// The rule counts Load() calls per (atomic.Pointer field, receiver
+// expression) pair within the innermost function literal or declaration:
+// the first Load captures the snapshot; every subsequent Load in the same
+// scope is flagged. Separate closures are separate scopes — a worker
+// goroutine legitimately re-Loads its own view. The fix is mechanical:
+// Load once into a local, thread the local through.
+var SnapCapture = &Analyzer{
+	Name: "snapcapture",
+	Doc: "in internal/serve an atomic.Pointer snapshot field must be Loaded at " +
+		"most once per function scope; a second Load is a TOCTOU race",
+	Family:     "determinism",
+	NeedsTypes: true,
+	Run:        runSnapCapture,
+}
+
+func runSnapCapture(pass *Pass) {
+	if pass.Pkg.Path != modulePath+"/internal/serve" {
+		return
+	}
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSnapLoads(pass, info, fd.Body)
+		}
+	}
+}
+
+// checkSnapLoads walks one function scope. Nested function literals are
+// their own scopes: the walk skips their bodies and recurses into each
+// with a fresh seen map.
+func checkSnapLoads(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkSnapLoads(pass, info, fl.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		field, recv := snapPointerLoad(info, call)
+		if field == nil {
+			return true
+		}
+		key := field.Pkg().Path() + "." + field.Name() + "\x00" + recv
+		if seen[key] {
+			pass.Reportf(call.Pos(), "second Load of atomic snapshot %s.%s in this scope is a TOCTOU race; Load once into a local and reuse it", recv, field.Name())
+			return true
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+// snapPointerLoad matches `X.field.Load()` where field's type is
+// sync/atomic.Pointer[T] (or a named type wrapping it), returning the
+// field object and a stable string form of X. Loads of local
+// atomic.Pointer variables don't match: only shared struct fields race.
+func snapPointerLoad(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" || len(call.Args) != 0 {
+		return nil, ""
+	}
+	fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fsel, ok := info.Selections[fieldSel]
+	if !ok || fsel.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	field, ok := fsel.Obj().(*types.Var)
+	if !ok || !isAtomicPointer(field.Type()) {
+		return nil, ""
+	}
+	return field, types.ExprString(ast.Unparen(fieldSel.X))
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[T] (any
+// instantiation, aliases resolved).
+func isAtomicPointer(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}

@@ -1,0 +1,28 @@
+package bcegate
+
+//drlint:hotpath
+func gather(dst, src []float64, idx []int) {
+	for i := range dst {
+		j := idx[i]     // want "retained a bounds check \(IsInBounds\)"
+		dst[i] = src[j] // want "retained a bounds check \(IsInBounds\)"
+	}
+}
+
+//drlint:hotpath
+func sum4(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += a[0] * b[0]
+		s1 += a[1] * b[1]
+		s2 += a[2] * b[2]
+		s3 += a[3] * b[3]
+		a, b = a[4:], b[4:]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	b = b[:len(a)]
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}

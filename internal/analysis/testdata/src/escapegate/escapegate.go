@@ -1,0 +1,50 @@
+package escapegate
+
+type node struct{ v int }
+
+var published *node
+
+var captured *int
+
+//drlint:hotpath
+func hotEscape(vs []int) int {
+	n := &node{v: len(vs)} // want "escapes to heap"
+	published = n
+	s := 0
+	for _, v := range vs {
+		s += v + n.v
+	}
+	return s
+}
+
+//drlint:hotpath
+func hotMoved(vs []int) {
+	total := 0 // want "local total is moved to the heap"
+	for _, v := range vs {
+		total += v
+	}
+	capture(&total)
+}
+
+func capture(p *int) { captured = p }
+
+//drlint:hotpath
+func hotClean(vs []int) int {
+	acc := node{v: 1}
+	s := 0
+	for _, v := range vs {
+		s += v * acc.v
+	}
+	return s
+}
+
+// Result materialization is exempt: the slice is the function's value.
+//
+//drlint:hotpath
+func hotResult(vs []int) []int {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// This nested module makes the witness-gate fixture packages buildable:
+// the compiler-witness rules shell out to `go build` with diagnostic
+// flags, and the fixture tests point that build at these directories. The
+// parent module never sees this file — the go tool skips testdata trees.
+module fixtures
+
+go 1.22

@@ -1,0 +1,39 @@
+package inlinegate
+
+//drlint:hotpath
+func hotCalls(vs []int) int {
+	s := 0
+	for _, v := range vs {
+		s += small(v)
+		s += walk(v, 3) // want "call to inlinegate\.walk is not inlined \(recursive\)"
+	}
+	return s
+}
+
+//drlint:hotpath inline=1
+func budgeted(vs []int) int {
+	s := 0
+	for _, v := range vs {
+		s += walk(v, 2)
+	}
+	return s
+}
+
+func small(v int) int { return v*2 + 1 }
+
+//drlint:hotpath inline=lots // want "malformed //drlint:hotpath annotation"
+func badBudget(vs []int) int {
+	s := 0
+	for _, v := range vs {
+		s += walk(v, 1)
+	}
+	return s
+}
+
+// walk is recursive, so the compiler can never inline it.
+func walk(v, n int) int {
+	if n == 0 {
+		return v
+	}
+	return walk(v+1, n-1)
+}

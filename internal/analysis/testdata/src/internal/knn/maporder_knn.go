@@ -1,0 +1,35 @@
+// Package knn is a miniature stand-in for the module's real knn package:
+// it lives under testdata/src/internal/knn so the type-checked method
+// (*Collector).Offer carries the "/internal/knn" path suffix maporder's
+// sink matching keys on.
+package knn
+
+import "sort"
+
+type Neighbor struct {
+	Index int
+	Dist  float64
+}
+
+type Collector struct{ ns []Neighbor }
+
+func (c *Collector) Offer(i int, d float64) {
+	c.ns = append(c.ns, Neighbor{Index: i, Dist: d})
+}
+
+func offerBad(c *Collector, m map[int]float64) {
+	for i, d := range m {
+		c.Offer(i, d) // want "map iteration order flows into Offer"
+	}
+}
+
+func offerSortedKeys(c *Collector, m map[int]float64) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		c.Offer(k, m[k])
+	}
+}

@@ -1,0 +1,62 @@
+package maporder
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+type kv struct {
+	K string
+	V float64
+}
+
+func keysBad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order flows into result slice out"
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commutative folds never flag: the sum is order-independent.
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// A local that never reaches a return or send is not an ordered artifact.
+func localOnly(m map[string]int) bool {
+	var tmp []int
+	for _, v := range m {
+		tmp = append(tmp, v)
+	}
+	nonEmpty := len(tmp) > 0
+	return nonEmpty
+}
+
+func encodeBad(m map[string]float64, enc *json.Encoder) {
+	for k, v := range m {
+		_ = enc.Encode(kv{K: k, V: v}) // want "map iteration order flows into JSON encoding via Encode"
+	}
+}
+
+func marshalBad(m map[string]int) []byte {
+	var last []byte
+	for k := range m {
+		b, _ := json.Marshal(k) // want "map iteration order flows into JSON encoding via Marshal"
+		last = b
+	}
+	return last
+}

@@ -1,0 +1,75 @@
+package seedprov
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+type Config struct {
+	Seed int64
+}
+
+// flagSeed stands in for a main-registered flag target.
+var flagSeed int64
+
+func fromConfig(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+func fromFlag() *rand.Rand {
+	return rand.New(rand.NewSource(flagSeed))
+}
+
+func fromLiteral() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// splitmix-style derivation chains stay blessed as long as their leaves are.
+func derived(cfg Config, shard int) *rand.Rand {
+	s := splitmix(cfg.Seed + int64(shard))
+	return rand.New(rand.NewSource(s))
+}
+
+func splitmix(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return int64(z ^ (z >> 31))
+}
+
+func fromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seed derives from time\.UnixNano"
+}
+
+func fromPid() *rand.Rand {
+	return rand.New(rand.NewSource(int64(os.Getpid()))) // want "seed derives from os\.Getpid"
+}
+
+func fromMap(m map[int64]bool) {
+	for k := range m {
+		_ = rand.NewSource(k) // want "seed derives from map iteration order"
+	}
+}
+
+func fromChan(ch chan int64) {
+	_ = rand.NewSource(<-ch) // want "seed derives from a channel receive"
+}
+
+func setSeedField(cfg *Config) {
+	cfg.Seed = time.Now().UnixNano() // want "seed derives from time\.UnixNano"
+}
+
+func buildConfig() Config {
+	return Config{Seed: time.Now().UnixNano()} // want "seed derives from time\.UnixNano"
+}
+
+// A module call binding a *seed* parameter is judged at the call site.
+func useShard(cfg Config) {
+	_ = rand.NewSource(splitmix(cfg.Seed))
+	_ = rand.NewSource(splitmix(time.Now().Unix())) // want "seed derives from time\.Unix"
+}
+
+// Parameters are the caller's responsibility, judged where the value is bound.
+func fromParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,61 @@
+package snapcapture
+
+import "sync/atomic"
+
+type snapshot struct {
+	n     int
+	epoch uint64
+}
+
+type Engine struct {
+	snap  atomic.Pointer[snapshot]
+	stats atomic.Pointer[snapshot]
+}
+
+func (e *Engine) doubleLoad() int {
+	if e.snap.Load() == nil {
+		return 0
+	}
+	return e.snap.Load().n // want "second Load of atomic snapshot e\.snap"
+}
+
+func (e *Engine) capture() int {
+	s := e.snap.Load()
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Distinct fields are distinct snapshots; one Load each is fine.
+func (e *Engine) distinctFields() (int, int) {
+	a := e.snap.Load()
+	b := e.stats.Load()
+	if a == nil || b == nil {
+		return 0, 0
+	}
+	return a.n, b.n
+}
+
+// Closures are their own scopes: a worker legitimately re-Loads its view.
+func (e *Engine) perClosure() {
+	work := func() int {
+		s := e.snap.Load()
+		if s == nil {
+			return 0
+		}
+		return s.n
+	}
+	_ = work()
+	_ = e.snap.Load()
+}
+
+func (e *Engine) tripleLoad() uint64 {
+	first := e.snap.Load()
+	if first == nil {
+		return 0
+	}
+	second := e.snap.Load() // want "second Load of atomic snapshot e\.snap"
+	_ = second
+	return e.snap.Load().epoch // want "second Load of atomic snapshot e\.snap"
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the per-rule wall-clock accounting behind drlint's -timing
+// flag. Collection is off by default so library callers and tests pay
+// nothing; the CLI opts in once before its runs and reads the totals after.
+// Compiler-witness rules share one `go build` per module (see witness.go),
+// so the first witness rule to run absorbs the build cost in its total —
+// the report is for spotting regressions, not for attributing shared work.
+
+// RuleTiming is the accumulated wall-clock time one analyzer spent across
+// every package (and module pass) of a run.
+type RuleTiming struct {
+	Rule    string
+	Elapsed time.Duration
+}
+
+var ruleTimings struct {
+	sync.Mutex
+	enabled bool
+	total   map[string]time.Duration
+}
+
+// EnableTimings turns on per-rule wall-clock collection for subsequent
+// RunPackages/RunModule calls and clears any prior totals.
+func EnableTimings() {
+	ruleTimings.Lock()
+	defer ruleTimings.Unlock()
+	ruleTimings.enabled = true
+	ruleTimings.total = map[string]time.Duration{}
+}
+
+// Timings returns the accumulated per-rule totals, slowest first (ties by
+// name so output is stable). Empty unless EnableTimings was called.
+func Timings() []RuleTiming {
+	ruleTimings.Lock()
+	defer ruleTimings.Unlock()
+	out := make([]RuleTiming, 0, len(ruleTimings.total))
+	for rule, d := range ruleTimings.total {
+		out = append(out, RuleTiming{Rule: rule, Elapsed: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Elapsed != out[j].Elapsed {
+			return out[i].Elapsed > out[j].Elapsed
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// timeRule runs fn, charging its wall-clock time to rule when collection is
+// enabled. The enabled check is a locked bool read per analyzer per package
+// — noise next to parsing and type-checking.
+func timeRule(rule string, fn func()) {
+	ruleTimings.Lock()
+	enabled := ruleTimings.enabled
+	ruleTimings.Unlock()
+	if !enabled {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	ruleTimings.Lock()
+	ruleTimings.total[rule] += elapsed
+	ruleTimings.Unlock()
+}

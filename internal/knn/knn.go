@@ -88,7 +88,7 @@ func (c *Collector) Reset(k int) {
 // admitted (it was closer than the current k-th best, or the collector was
 // not yet full).
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func (c *Collector) Offer(index int, dist float64) bool {
 	if len(c.heap) < c.k {
 		c.heap = append(c.heap, Neighbor{Index: index, Dist: dist})

@@ -34,6 +34,7 @@ const q15x8MaxLen = 1024
 
 func dotQ15U8Unitary(u []uint16, c []uint8) int64 {
 	if hasAVX2FMA && len(u) >= asmMinLen {
+		c = c[:len(u)] // teach the prover len(c) == len(u) for the scalar tail
 		head := len(u) &^ 15
 		s := dotQ15U8AVX2(u[:head], c[:head])
 		for j := head; j < len(u); j++ {
@@ -46,6 +47,7 @@ func dotQ15U8Unitary(u []uint16, c []uint8) int64 {
 
 func dotQ15U16Unitary(u []uint16, c []uint16) int64 {
 	if hasAVX2FMA && len(u) >= asmMinLen {
+		c = c[:len(u)] // teach the prover len(c) == len(u) for the scalar tail
 		head := len(u) &^ 15
 		s := dotQ15U16AVX2(u[:head], c[:head])
 		for j := head; j < len(u); j++ {
@@ -61,7 +63,8 @@ func dotQ15U8x4Unitary(u []uint16, rows []uint8, stride int, out *[4]int64) {
 		head := len(u) &^ 15
 		dotQ15U8x4AVX2(u[:head], &rows[0], stride, out)
 		for r := 0; r < 4; r++ {
-			row := rows[r*stride:]
+			//drlint:ignore bcegate row geometry (r*stride) is the caller's layout contract; one reslice check per ≤15-element scalar tail
+			row := rows[r*stride:][:len(u)]
 			var s int64
 			for j := head; j < len(u); j++ {
 				s += int64(u[j]) * int64(row[j])
@@ -78,7 +81,8 @@ func dotQ15U16x4Unitary(u []uint16, rows []uint16, stride int, out *[4]int64) {
 		head := len(u) &^ 15
 		dotQ15U16x4AVX2(u[:head], &rows[0], stride, out)
 		for r := 0; r < 4; r++ {
-			row := rows[r*stride:]
+			//drlint:ignore bcegate row geometry (r*stride) is the caller's layout contract; one reslice check per ≤15-element scalar tail
+			row := rows[r*stride:][:len(u)]
 			var s int64
 			for j := head; j < len(u); j++ {
 				s += int64(u[j]) * int64(row[j])
@@ -103,7 +107,8 @@ func dotQ15U8x8Unitary(u []uint16, rows []uint8, stride int, out *[8]int64) {
 		head := len(u) &^ 15
 		dotQ15U8x8AVX2(u[:head], &rows[0], stride, out)
 		for r := 0; r < 8; r++ {
-			row := rows[r*stride:]
+			//drlint:ignore bcegate row geometry (r*stride) is the caller's layout contract; one reslice check per ≤15-element scalar tail
+			row := rows[r*stride:][:len(u)]
 			var s int64
 			for j := head; j < len(u); j++ {
 				s += int64(u[j]) * int64(row[j])

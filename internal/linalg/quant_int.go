@@ -38,7 +38,7 @@ const MaxQ15 = 32767
 // are bit-identical because the sum is exact integer arithmetic.
 // Supported up to len(u) = 2²⁰ dimensions (i64 never overflows there).
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func DotQ15U8(u []uint16, c []uint8) int64 {
 	if len(u) != len(c) {
 		panic(fmt.Sprintf("linalg: DotQ15U8 length mismatch %d vs %d", len(u), len(c)))
@@ -50,7 +50,7 @@ func DotQ15U8(u []uint16, c []uint8) int64 {
 // quantization). Supported up to len(u) = 65536 dimensions (the in-kernel
 // i32 code-sum accumulator bounds it).
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func DotQ15U16(u []uint16, c []uint16) int64 {
 	if len(u) != len(c) {
 		panic(fmt.Sprintf("linalg: DotQ15U16 length mismatch %d vs %d", len(u), len(c)))
@@ -63,7 +63,7 @@ func DotQ15U16(u []uint16, c []uint16) int64 {
 // and applies it to all four rows, amortizing query-side loads across the
 // block-major code layout of the store scan. out is fully overwritten.
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func DotQ15U8x4(u []uint16, rows []uint8, stride int, out *[4]int64) {
 	if stride < len(u) {
 		panic(fmt.Sprintf("linalg: DotQ15U8x4 stride %d < dim %d", stride, len(u)))
@@ -81,7 +81,7 @@ func DotQ15U8x4(u []uint16, rows []uint8, stride int, out *[4]int64) {
 // long sequential sweeps, the ×4 form for short or irregular ones. out
 // is fully overwritten; results are bit-identical to eight unitary dots.
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func DotQ15U8x8(u []uint16, rows []uint8, stride int, out *[8]int64) {
 	if stride < len(u) {
 		panic(fmt.Sprintf("linalg: DotQ15U8x8 stride %d < dim %d", stride, len(u)))
@@ -95,7 +95,7 @@ func DotQ15U8x8(u []uint16, rows []uint8, stride int, out *[8]int64) {
 // DotQ15U16x4 is DotQ15U8x4 for uint16 data codes. stride is in codes
 // (uint16 elements), not bytes.
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func DotQ15U16x4(u []uint16, rows []uint16, stride int, out *[4]int64) {
 	if stride < len(u) {
 		panic(fmt.Sprintf("linalg: DotQ15U16x4 stride %d < dim %d", stride, len(u)))
@@ -108,57 +108,65 @@ func DotQ15U16x4(u []uint16, rows []uint16, stride int, out *[4]int64) {
 
 // dotQ15U8Generic is the portable kernel. Four independent accumulators
 // break the add-latency chain; integer addition is associative, so any
-// split is bit-identical to the assembly path.
+// split is bit-identical to the assembly path. Both slices advance in
+// 4-wide steps with the lengths in the loop condition — the shape the
+// bounds-check prover eliminates completely, where the indexed
+// `u[i+3]` form leaves an IsInBounds on every line of the loop.
 func dotQ15U8Generic(u []uint16, c []uint8) int64 {
-	n := len(u)
-	c = c[:n] // hoist the bounds check out of the loop
+	c = c[:len(u)]
 	var s0, s1, s2, s3 int64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += int64(u[i]) * int64(c[i])
-		s1 += int64(u[i+1]) * int64(c[i+1])
-		s2 += int64(u[i+2]) * int64(c[i+2])
-		s3 += int64(u[i+3]) * int64(c[i+3])
+	for len(u) >= 4 && len(c) >= 4 {
+		s0 += int64(u[0]) * int64(c[0])
+		s1 += int64(u[1]) * int64(c[1])
+		s2 += int64(u[2]) * int64(c[2])
+		s3 += int64(u[3]) * int64(c[3])
+		u = u[4:]
+		c = c[4:]
 	}
 	s := (s0 + s2) + (s1 + s3)
-	for ; i < n; i++ {
-		s += int64(u[i]) * int64(c[i])
+	c = c[:len(u)]
+	for i, uv := range u {
+		s += int64(uv) * int64(c[i])
 	}
 	return s
 }
 
 func dotQ15U16Generic(u []uint16, c []uint16) int64 {
-	n := len(u)
-	c = c[:n]
+	c = c[:len(u)]
 	var s0, s1, s2, s3 int64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += int64(u[i]) * int64(c[i])
-		s1 += int64(u[i+1]) * int64(c[i+1])
-		s2 += int64(u[i+2]) * int64(c[i+2])
-		s3 += int64(u[i+3]) * int64(c[i+3])
+	for len(u) >= 4 && len(c) >= 4 {
+		s0 += int64(u[0]) * int64(c[0])
+		s1 += int64(u[1]) * int64(c[1])
+		s2 += int64(u[2]) * int64(c[2])
+		s3 += int64(u[3]) * int64(c[3])
+		u = u[4:]
+		c = c[4:]
 	}
 	s := (s0 + s2) + (s1 + s3)
-	for ; i < n; i++ {
-		s += int64(u[i]) * int64(c[i])
+	c = c[:len(u)]
+	for i, uv := range u {
+		s += int64(uv) * int64(c[i])
 	}
 	return s
 }
 
 func dotQ15U8x4Generic(u []uint16, rows []uint8, stride int, out *[4]int64) {
 	for r := 0; r < 4; r++ {
+		//drlint:ignore bcegate row geometry (r*stride) is the caller's layout contract; one reslice check per len(u)-element row
 		out[r] = dotQ15U8Generic(u, rows[r*stride:r*stride+len(u)])
 	}
 }
 
 func dotQ15U16x4Generic(u []uint16, rows []uint16, stride int, out *[4]int64) {
 	for r := 0; r < 4; r++ {
+		//drlint:ignore bcegate row geometry (r*stride) is the caller's layout contract; one reslice check per len(u)-element row
 		out[r] = dotQ15U16Generic(u, rows[r*stride:r*stride+len(u)])
 	}
 }
 
 func dotQ15U8x8Generic(u []uint16, rows []uint8, stride int, out *[8]int64) {
 	for r := 0; r < 8; r++ {
+		//drlint:ignore bcegate row geometry (r*stride) is the caller's layout contract; one reslice check per len(u)-element row
 		out[r] = dotQ15U8Generic(u, rows[r*stride:r*stride+len(u)])
 	}
 }

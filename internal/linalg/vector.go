@@ -19,20 +19,24 @@ func Dot(a, b []float64) float64 {
 // dotGeneric is the portable dot kernel. Four independent accumulators
 // break the loop-carried dependence of the naive `s += a[i]*b[i]` loop,
 // whose add-latency chain caps it at a fraction of the FP ports' throughput.
+// Both slices advance in 4-wide steps with the lengths in the loop
+// condition — the shape the bounds-check prover eliminates completely
+// (indexed `a[i+3]` forms leave IsInBounds in the loop); the accumulation
+// order is unchanged, so results stay bit-identical.
 func dotGeneric(a, b []float64) float64 {
-	n := len(a)
-	b = b[:n] // hoist the bounds check out of the loop
+	b = b[:len(a)]
 	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += a[0] * b[0]
+		s1 += a[1] * b[1]
+		s2 += a[2] * b[2]
+		s3 += a[3] * b[3]
+		a, b = a[4:], b[4:]
 	}
 	s := (s0 + s2) + (s1 + s3)
-	for ; i < n; i++ {
-		s += a[i] * b[i]
+	b = b[:len(a)]
+	for i, av := range a {
+		s += av * b[i]
 	}
 	return s
 }

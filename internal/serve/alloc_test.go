@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/knn"
+)
+
+// TestDeltaScanAllocs pins the mutation read path's //drlint:hotpath
+// contract at runtime: scanning a captured delta view against a warm
+// collector allocates exactly once per call — the Results slice the caller
+// keeps (result materialization, exempt under hotalloc). The admission
+// loop, tombstone binary search, and rescore pass are allocation-free.
+func TestDeltaScanAllocs(t *testing.T) {
+	const n, d, k = 64, 8, 4
+	v := deltaView{
+		rows:  make([]float64, n*d),
+		ids:   make([]int, n),
+		norms: make([]float64, n),
+		d:     d,
+	}
+	for i := 0; i < n; i++ {
+		v.ids[i] = i * 2
+		var nrm float64
+		for j := 0; j < d; j++ {
+			x := float64((i*7919+j*31)%256) / 17
+			v.rows[i*d+j] = x
+			nrm += x * x
+		}
+		v.norms[i] = nrm
+	}
+	query := make([]float64, d)
+	for j := range query {
+		query[j] = float64(j) / 3
+	}
+	dead := []int{6, 20, 42}
+	c := knn.NewCollector(k)
+
+	avg := testing.AllocsPerRun(500, func() {
+		_ = v.scan(query, k, dead, c)
+	})
+	if avg != 1 {
+		t.Errorf("deltaView.scan does %.2f allocs/op, want exactly 1 (the results slice)", avg)
+	}
+}
+
+// TestContainsSortedZeroAllocs pins the tombstone membership probe: a
+// binary search over the captured dead list must never allocate.
+func TestContainsSortedZeroAllocs(t *testing.T) {
+	dead := make([]int, 1024)
+	for i := range dead {
+		dead[i] = i * 3
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		containsSorted(dead, i%4096)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("containsSorted does %.2f allocs/op, want 0", avg)
+	}
+}

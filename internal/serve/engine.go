@@ -443,7 +443,7 @@ func growInts(buf []int, n int) []int {
 // request sees a point-in-time-consistent image of the served set; the
 // scans and the merge then run lock-free against that capture.
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func (e *Engine) handle(req *request, sc *reqScratch) {
 	if err := req.ctx.Err(); err != nil {
 		// Expired while queued: reject without scanning. The caller has
@@ -539,7 +539,7 @@ func (e *Engine) handle(req *request, sc *reqScratch) {
 // collector for delta scans, refilled lazily so the steady state does not
 // allocate.
 //
-//drlint:hotpath
+//drlint:hotpath inline=1
 func (e *Engine) shardWorker() {
 	//drlint:ignore hotalloc one deferred frame per worker lifetime, not per task; Close relies on it to join the pool
 	defer e.shardWorkers.Done()

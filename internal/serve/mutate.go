@@ -104,7 +104,7 @@ type deltaView struct {
 // metric, so delta results merge bit-identically with a from-scratch
 // rebuild over the surviving rows.
 //
-//drlint:hotpath
+//drlint:hotpath inline=6
 func (v *deltaView) scan(query []float64, k int, dead []int, c *knn.Collector) []knn.Neighbor {
 	n := len(v.ids)
 	if k > n {
@@ -473,10 +473,11 @@ func (e *Engine) compactOnce() uint64 {
 
 	// ---- install: swap the snapshot, re-thread concurrent mutations ----
 	e.mut.mu.Lock()
-	if e.snap.Load() != snap {
+	//drlint:ignore snapcapture deliberate re-validation under mut.mu: a Swap may have retired the captured snapshot during the lock-free build
+	if cur := e.snap.Load(); cur != snap {
 		// A Swap replaced the dataset while we were building; our rebuild
 		// describes a retired generation. Discard it.
-		epoch := e.snap.Load().epoch
+		epoch := cur.epoch
 		e.mut.mu.Unlock()
 		return epoch
 	}

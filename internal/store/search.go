@@ -151,8 +151,9 @@ func (s *Store) combine(p *plan, i int, idot int64) float64 {
 	d2 := p.a2 + s.scanAux[2*i] - 2*(p.tmin*s.scanAux[2*i+1]+p.tstep*float64(idot))
 	if F := s.l.fullDims; F > 0 {
 		frow := s.f32[i*F : (i+1)*F]
-		for j, qv := range p.qf {
-			diff := qv - float64(frow[j])
+		qf := p.qf[:len(frow)] // len(qf) == len(frow) == F; hoists the bounds check out of the loop
+		for j, fv := range frow {
+			diff := qf[j] - float64(fv)
 			d2 += diff * diff
 		}
 	}
@@ -222,37 +223,51 @@ func (s *Store) getPar() *parScratch {
 // pre-filter changes nothing about the admitted set — it only keeps the
 // heap branch out of the kernel loop.
 func (s *Store) scanBlockFull(p *plan, sc *scanScratch, base, end int, c *knn.Collector) {
+	// rem is the unwritten suffix of scores; keeping the block width in the
+	// loop condition (len(rem) >= 8 ⇔ i+8 <= end) lets the prover drop
+	// every bounds check on the blk writes. The code-row reslices stay —
+	// i*stride geometry is the store's layout contract.
 	scores := sc.scores[:end-base]
 	var dots [4]int64
 	i := base
+	rem := scores
 	if s.l.prec == Int8 {
 		stride := s.l.codeStride
 		var dots8 [8]int64
-		for ; i+8 <= end; i += 8 {
+		for ; len(rem) >= 8; i += 8 {
+			//drlint:ignore bcegate code-row geometry (i*stride) is the store layout contract; one reslice check per 8 rows
 			linalg.DotQ15U8x8(p.u, s.codes[i*stride:], stride, &dots8)
+			blk := rem[:8]
 			for r := 0; r < 8; r++ {
-				scores[i-base+r] = s.combine(p, i+r, dots8[r])
+				blk[r] = s.combine(p, i+r, dots8[r])
 			}
+			rem = rem[8:]
 		}
-		for ; i+4 <= end; i += 4 {
+		for ; len(rem) >= 4; i += 4 {
+			//drlint:ignore bcegate code-row geometry (i*stride) is the store layout contract; one reslice check per 4 rows
 			linalg.DotQ15U8x4(p.u, s.codes[i*stride:], stride, &dots)
-			scores[i-base] = s.combine(p, i, dots[0])
-			scores[i-base+1] = s.combine(p, i+1, dots[1])
-			scores[i-base+2] = s.combine(p, i+2, dots[2])
-			scores[i-base+3] = s.combine(p, i+3, dots[3])
+			blk := rem[:4]
+			blk[0] = s.combine(p, i, dots[0])
+			blk[1] = s.combine(p, i+1, dots[1])
+			blk[2] = s.combine(p, i+2, dots[2])
+			blk[3] = s.combine(p, i+3, dots[3])
+			rem = rem[4:]
 		}
 	} else {
 		stride := s.l.codeStride / 2
-		for ; i+4 <= end; i += 4 {
+		for ; len(rem) >= 4; i += 4 {
+			//drlint:ignore bcegate code-row geometry (i*stride) is the store layout contract; one reslice check per 4 rows
 			linalg.DotQ15U16x4(p.u, s.codes16[i*stride:], stride, &dots)
-			scores[i-base] = s.combine(p, i, dots[0])
-			scores[i-base+1] = s.combine(p, i+1, dots[1])
-			scores[i-base+2] = s.combine(p, i+2, dots[2])
-			scores[i-base+3] = s.combine(p, i+3, dots[3])
+			blk := rem[:4]
+			blk[0] = s.combine(p, i, dots[0])
+			blk[1] = s.combine(p, i+1, dots[1])
+			blk[2] = s.combine(p, i+2, dots[2])
+			blk[3] = s.combine(p, i+3, dots[3])
+			rem = rem[4:]
 		}
 	}
-	for ; i < end; i++ {
-		scores[i-base] = s.scoreAt(p, i)
+	for j := range rem {
+		rem[j] = s.scoreAt(p, i+j)
 	}
 	bound := c.Bound()
 	for j, v := range scores {
@@ -282,35 +297,50 @@ func (s *Store) scanBlockFull(p *plan, sc *scanScratch, base, end int, c *knn.Co
 func (s *Store) scanBlockPrefix(p *plan, sc *scanScratch, base, end int, c *knn.Collector) (survivors int) {
 	P := s.prefDims
 	uP := p.u[:P]
+	// Same rem-advance shape as scanBlockFull: the block width lives in the
+	// loop condition so every lb write is bounds-check free; the prefix-row
+	// reslices (i*P geometry) are the layout contract.
 	lbs := sc.scores[:end-base]
 	var dots [4]int64
 	i := base
+	rem := lbs
 	if s.l.prec == Int8 {
 		var dots8 [8]int64
-		for ; i+8 <= end; i += 8 {
+		for ; len(rem) >= 8; i += 8 {
+			//drlint:ignore bcegate prefix-plane geometry (i*P) is the store layout contract; one reslice check per 8 rows
 			linalg.DotQ15U8x8(uP, s.pref8[i*P:], P, &dots8)
+			blk := rem[:8]
 			for r := 0; r < 8; r++ {
-				lbs[i-base+r] = s.prefixLB(p, i+r, dots8[r])
+				blk[r] = s.prefixLB(p, i+r, dots8[r])
 			}
+			rem = rem[8:]
 		}
-		for ; i+4 <= end; i += 4 {
+		for ; len(rem) >= 4; i += 4 {
+			//drlint:ignore bcegate prefix-plane geometry (i*P) is the store layout contract; one reslice check per 4 rows
 			linalg.DotQ15U8x4(uP, s.pref8[i*P:], P, &dots)
+			blk := rem[:4]
 			for r := 0; r < 4; r++ {
-				lbs[i-base+r] = s.prefixLB(p, i+r, dots[r])
+				blk[r] = s.prefixLB(p, i+r, dots[r])
 			}
+			rem = rem[4:]
 		}
-		for ; i < end; i++ {
-			lbs[i-base] = s.prefixLB(p, i, linalg.DotQ15U8(uP, s.pref8[i*P:(i+1)*P]))
+		for j := range rem {
+			//drlint:ignore bcegate prefix-plane geometry (i*P) is the store layout contract; one reslice check per tail row
+			rem[j] = s.prefixLB(p, i+j, linalg.DotQ15U8(uP, s.pref8[(i+j)*P:(i+j+1)*P]))
 		}
 	} else {
-		for ; i+4 <= end; i += 4 {
+		for ; len(rem) >= 4; i += 4 {
+			//drlint:ignore bcegate prefix-plane geometry (i*P) is the store layout contract; one reslice check per 4 rows
 			linalg.DotQ15U16x4(uP, s.pref16[i*P:], P, &dots)
+			blk := rem[:4]
 			for r := 0; r < 4; r++ {
-				lbs[i-base+r] = s.prefixLB(p, i+r, dots[r])
+				blk[r] = s.prefixLB(p, i+r, dots[r])
 			}
+			rem = rem[4:]
 		}
-		for ; i < end; i++ {
-			lbs[i-base] = s.prefixLB(p, i, linalg.DotQ15U16(uP, s.pref16[i*P:(i+1)*P]))
+		for j := range rem {
+			//drlint:ignore bcegate prefix-plane geometry (i*P) is the store layout contract; one reslice check per tail row
+			rem[j] = s.prefixLB(p, i+j, linalg.DotQ15U16(uP, s.pref16[(i+j)*P:(i+j+1)*P]))
 		}
 	}
 	bound := c.Bound()
@@ -363,7 +393,7 @@ const warmupBlocks = 32
 // kinds admit identical candidates, so this scheduling is invisible in
 // the results — it is purely a bandwidth/ALU trade.
 //
-//drlint:hotpath
+//drlint:hotpath inline=2
 func (s *Store) scanSegment(p *plan, lo, hi int, c *knn.Collector) {
 	sc := s.getScratch()
 	usePrefix := s.prefDims > 0
@@ -424,7 +454,7 @@ func (s *Store) SearchRange(q []float64, lo, hi, k, rescore int) ([]knn.Neighbor
 // results are bit-identical for every worker count. Worker counts beyond
 // what minSegmentRows-sized slices of [lo, hi) can occupy are clamped.
 //
-//drlint:hotpath
+//drlint:hotpath inline=8
 func (s *Store) SearchRangeWorkers(q []float64, lo, hi, k, rescore, workers int) ([]knn.Neighbor, int) {
 	s.mu.RLock()
 	//drlint:ignore hotalloc one deferred frame per query guards the mapping against Close on every panic path; not per-point cost
@@ -552,7 +582,7 @@ func (s *Store) segmentWorker(ps *parScratch, p *plan, lo, hi int, c *knn.Collec
 // cores). Per-query state rides the store's pools; the only per-batch
 // allocations are the result slice itself and the worker goroutines.
 //
-//drlint:hotpath
+//drlint:hotpath inline=2
 func (s *Store) SearchBatch(queries *linalg.Dense, k, rescore int) [][]knn.Neighbor {
 	if queries.Cols() != s.l.d {
 		panic(fmt.Sprintf("store: queries have %d dims, store has %d", queries.Cols(), s.l.d))
@@ -570,6 +600,7 @@ func (s *Store) SearchBatch(queries *linalg.Dense, k, rescore int) [][]knn.Neigh
 		return out
 	}
 	chunk := (nq + workers - 1) / workers
+	//drlint:ignore escapegate one WaitGroup heap cell per batch, shared by every worker and amortized over nq queries
 	var wg sync.WaitGroup
 	for lo := 0; lo < nq; lo += chunk {
 		hi := lo + chunk

@@ -52,8 +52,9 @@ go test -run=NONE -benchtime="$benchtime" -bench='^BenchmarkLSHQueryD166$' . >>"
 go test -run=NONE -benchtime="$benchtime" \
   -bench='^(BenchmarkStoreSearchInt8_6598x166|BenchmarkStoreSearchInt16_6598x166|BenchmarkExactSearch6598x166)$' \
   ./internal/store/ >>"$tmp"
-# One full drlint pass (parse + type-check + all eight rules): the cost CI
-# and `go test ./...` pay per run, recorded so regressions are visible.
+# One full drlint pass (parse + type-check + all seventeen rules, witness
+# build included): the cost CI and `go test ./...` pay per run, recorded so
+# regressions are visible.
 go test -run=NONE -benchtime=1x -bench='^BenchmarkDrlintModule$' ./internal/analysis/ >>"$tmp"
 
 # Regression guard on the scan rewrite: the integer-SIMD blocked scan must
